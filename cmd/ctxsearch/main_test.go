@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	base := []string{"-papers", "150", "-terms", "40"}
+	if err := run(append(base, args...), &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestStatsCommand(t *testing.T) {
+	out := runCLI(t, "stats")
+	for _, want := range []string{"ontology:", "corpus:", "context set"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSearchCommand(t *testing.T) {
+	out := runCLI(t, "search", "regulation", "of", "transcription")
+	if !strings.Contains(out, "results for") && !strings.Contains(out, "no results") {
+		t.Fatalf("unexpected search output:\n%s", out)
+	}
+}
+
+func TestContextsCommand(t *testing.T) {
+	out := runCLI(t, "contexts", "transcription")
+	if !strings.Contains(out, "contexts") {
+		t.Fatalf("unexpected contexts output:\n%s", out)
+	}
+}
+
+func TestInspectCommand(t *testing.T) {
+	out := runCLI(t, "inspect", "0")
+	for _, want := range []string{"paper 0", "title:", "authors:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-papers", "150", "-terms", "40", "inspect", "badid"}, &buf); err == nil {
+		t.Fatal("bad paper id must fail")
+	}
+	if err := run([]string{"-papers", "150", "-terms", "40", "inspect", "999999"}, &buf); err == nil {
+		t.Fatal("out-of-range paper must fail")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-papers", "150", "-terms", "40", "frobnicate"}, &buf); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-set", "bogus", "-papers", "150", "-terms", "40", "stats"}, &buf); err == nil {
+		t.Fatal("bogus context set must fail")
+	}
+	if err := run([]string{"-score", "bogus", "-papers", "150", "-terms", "40", "stats"}, &buf); err == nil {
+		t.Fatal("bogus score function must fail")
+	}
+}
+
+func TestGenerateAndReload(t *testing.T) {
+	dir := t.TempDir()
+	corpusPath := filepath.Join(dir, "c.gob")
+	oboPath := filepath.Join(dir, "o.obo")
+	out := runCLI(t, "-corpus", corpusPath, "-obo", oboPath, "generate")
+	if !strings.Contains(out, "generated 150 papers") {
+		t.Fatalf("generate output:\n%s", out)
+	}
+	// Reload from the saved files.
+	out = runCLI(t, "-corpus", corpusPath, "-obo", oboPath, "stats")
+	if !strings.Contains(out, "corpus:   150 papers") {
+		t.Fatalf("reloaded stats:\n%s", out)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.gob")
+	corpusPath := filepath.Join(dir, "c.gob")
+	oboPath := filepath.Join(dir, "o.obo")
+	runCLI(t, "-corpus", corpusPath, "-obo", oboPath, "generate")
+	// First run computes and saves state.
+	first := runCLI(t, "-corpus", corpusPath, "-obo", oboPath, "-state", statePath, "stats")
+	// Second run loads it; output must match.
+	second := runCLI(t, "-corpus", corpusPath, "-obo", oboPath, "-state", statePath, "stats")
+	if first != second {
+		t.Fatalf("state reload changed stats:\n%s\nvs\n%s", first, second)
+	}
+	// Requesting a function the state lacks must fail.
+	var buf bytes.Buffer
+	err := run([]string{"-corpus", corpusPath, "-obo", oboPath, "-state", statePath,
+		"-score", "citation", "-papers", "150", "-terms", "40", "stats"}, &buf)
+	if err == nil {
+		t.Fatal("missing score function in state must fail")
+	}
+}
+
+func TestSimAndRelatedCommands(t *testing.T) {
+	// Find two term IDs via stats being deterministic: GO:0000004 and
+	// GO:0000005 exist in a 40-term ontology.
+	out := runCLI(t, "sim", "GO:0000004", "GO:0000005")
+	for _, want := range []string{"Resnik", "Lin"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sim output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "-limit", "5", "related", "GO:0000004")
+	if !strings.Contains(out, "terms related to") {
+		t.Fatalf("related output:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-papers", "150", "-terms", "40", "sim", "GO:0000004", "GO:9999999"}, &buf); err == nil {
+		t.Fatal("unknown term must fail")
+	}
+}
+
+func TestStatsRicherOutput(t *testing.T) {
+	out := runCLI(t, "stats")
+	for _, want := range []string{"tokens:", "citations:", "evidence:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterCommand(t *testing.T) {
+	out := runCLI(t, "cluster", "regulation", "transcription")
+	if !strings.Contains(out, "cluster") {
+		t.Fatalf("cluster output:\n%s", out)
+	}
+}
+
+func TestExportCommand(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "papers.jsonl")
+	out := runCLI(t, "export", "jsonl", jsonl)
+	if !strings.Contains(out, "wrote jsonl export") {
+		t.Fatalf("export output:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("export file: %v", err)
+	}
+	gaf := filepath.Join(dir, "annots.gaf")
+	runCLI(t, "export", "gaf", gaf)
+	var buf bytes.Buffer
+	if err := run([]string{"-papers", "150", "-terms", "40", "export", "bogus", gaf}, &buf); err == nil {
+		t.Fatal("unknown export format must fail")
+	}
+}
+
+func TestBooleanSearchCommand(t *testing.T) {
+	out := runCLI(t, "-boolean", "search", "transcription", "AND", "NOT", "corrosion")
+	if !strings.Contains(out, "results for") && !strings.Contains(out, "no results") {
+		t.Fatalf("boolean search output:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-papers", "150", "-terms", "40", "-boolean", "search", "((("}, &buf); err == nil {
+		t.Fatal("bad boolean query must fail")
+	}
+}

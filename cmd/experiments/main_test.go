@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-papers", "120", "-terms", "40", "-queries", "6", "-quiet", "fig5.4"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 5.4a") || !strings.Contains(out.String(), "Fig 5.4b") {
+		t.Fatalf("missing figure output:\n%s", out.String())
+	}
+}
+
+func TestRunMultipleFigures(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-papers", "120", "-terms", "40", "-queries", "6", "-quiet",
+		"ablate-teleport", "ablate-hits"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Ablation A1") || !strings.Contains(out.String(), "Ablation A2") {
+		t.Fatalf("missing ablations:\n%s", out.String())
+	}
+	// Output order follows the canonical order, not the argument order.
+	if strings.Index(out.String(), "A1") > strings.Index(out.String(), "A2") {
+		t.Fatal("canonical ordering violated")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quiet", "fig9.9"}, &out, &errw); err == nil {
+		t.Fatal("unknown figure must fail")
+	}
+}
+
+func TestProgressGoesToErrWriter(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-papers", "120", "-terms", "40", "-queries", "5", "sparseness"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "generating system") {
+		t.Fatal("progress lines missing from err writer")
+	}
+	if strings.Contains(out.String(), "generating system") {
+		t.Fatal("progress leaked into stdout")
+	}
+}

@@ -1,0 +1,260 @@
+// Package ctxsearch is the public façade of the context-based literature
+// search library — a from-scratch reproduction of "Evaluating Different
+// Ranking Functions for Context-Based Literature Search" (ICDE 2007).
+//
+// The library implements the paper's five tasks end to end:
+//
+//  1. assign papers to ontology-term contexts (text-based and pattern-based
+//     context paper sets),
+//  2. compute per-context prestige scores (citation-, text-, and
+//     pattern-based score functions),
+//  3. locate search contexts for a keyword query,
+//  4. search within the selected contexts, and
+//  5. rank results by R = w_p·prestige + w_m·text-match.
+//
+// A typical session:
+//
+//	sys, err := ctxsearch.NewSyntheticSystem(ctxsearch.DefaultConfig())
+//	// or ctxsearch.NewSystem(yourOntology, yourCorpus, cfg)
+//	cs := sys.BuildTextContextSet()
+//	scores := sys.ScoreText(cs)
+//	engine := sys.Engine(cs, scores)
+//	results := engine.Search("regulation of rna synthesis", ctxsearch.SearchOptions{})
+package ctxsearch
+
+import (
+	"fmt"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/pattern"
+	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/search"
+)
+
+// Re-exported types so callers outside this module can name everything the
+// façade returns.
+type (
+	// Ontology is the context hierarchy (a GO-like is-a DAG).
+	Ontology = ontology.Ontology
+	// TermID identifies an ontology term.
+	TermID = ontology.TermID
+	// Term is one ontology term.
+	Term = ontology.Term
+	// Corpus is the paper collection.
+	Corpus = corpus.Corpus
+	// Paper is one full-text publication.
+	Paper = corpus.Paper
+	// PaperID identifies a paper.
+	PaperID = corpus.PaperID
+	// ContextSet is a paper-to-context assignment.
+	ContextSet = contextset.ContextSet
+	// Scores holds per-context per-paper prestige scores.
+	Scores = prestige.Scores
+	// Scorer computes prestige scores for a context.
+	Scorer = prestige.Scorer
+	// Engine is the context-based search engine.
+	Engine = search.Engine
+	// SearchResult is one ranked search result.
+	SearchResult = search.Result
+	// SearchOptions configure a search invocation.
+	SearchOptions = search.Options
+	// Hit is one baseline keyword-search result.
+	Hit = index.Hit
+)
+
+// Config assembles every knob of the pipeline.
+type Config struct {
+	// Synthetic-data parameters (used by NewSyntheticSystem).
+	Seed          int64
+	OntologyTerms int
+	MaxDepth      int
+	Papers        int
+
+	// ContextSet configures both context paper set constructions.
+	ContextSet contextset.Config
+	// PageRank configures the citation-based score function.
+	PageRank citegraph.PageRankOpts
+	// TextWeights configures the text-based score function.
+	TextWeights prestige.TextWeights
+	// Pattern and Match configure the pattern-based score function.
+	Pattern pattern.Config
+	Match   pattern.MatchConfig
+	// Relevancy combines prestige and matching at query time.
+	Relevancy search.Weights
+	// MinContextSize excludes small contexts from scoring, mirroring the
+	// paper's ≤100-papers exclusion (scaled: the default is 0.15% of the
+	// corpus with a floor of 5).
+	MinContextSize int
+	// TuneCorpus, when non-nil, adjusts the synthetic corpus generator's
+	// configuration before generation (NewSyntheticSystem only) — e.g. to
+	// sweep citation-structure knobs in ablations.
+	TuneCorpus func(*corpus.GenConfig)
+	// Workers bounds the parallelism of prestige scoring across contexts
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any setting;
+	// per-context scoring is deterministic and independent.
+	Workers int
+}
+
+// DefaultConfig returns the experiments' configuration at a laptop-friendly
+// scale (2,000 papers, 400 terms).
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		OntologyTerms:  400,
+		MaxDepth:       9,
+		Papers:         2000,
+		ContextSet:     contextset.DefaultConfig(),
+		PageRank:       citegraph.PageRankOpts{},
+		TextWeights:    prestige.DefaultTextWeights(),
+		Pattern:        pattern.DefaultConfig(),
+		Match:          pattern.DefaultMatchConfig(),
+		Relevancy:      search.DefaultWeights(),
+		MinContextSize: -1, // -1 = derive from corpus size
+	}
+}
+
+func (c *Config) minContextSize(corpusLen int) int {
+	if c.MinContextSize >= 0 {
+		return c.MinContextSize
+	}
+	m := corpusLen * 15 / 10000 // 0.15%, the paper's 100/72027 ratio
+	if m < 5 {
+		m = 5
+	}
+	return m
+}
+
+// System bundles the analysed corpus, the ontology and every index the
+// scorers need. Construct with NewSystem or NewSyntheticSystem.
+type System struct {
+	cfg      Config
+	Ontology *Ontology
+	Corpus   *Corpus
+
+	analyzer *corpus.Analyzer
+	index    *index.Index
+	posIndex *pattern.PosIndex
+}
+
+// NewSystem analyses a user-provided ontology and corpus.
+func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
+	if o == nil || o.Len() == 0 {
+		return nil, fmt.Errorf("ctxsearch: ontology is empty")
+	}
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("ctxsearch: corpus is empty")
+	}
+	a := corpus.NewAnalyzer(c)
+	return &System{
+		cfg:      cfg,
+		Ontology: o,
+		Corpus:   c,
+		analyzer: a,
+		index:    index.Build(a),
+		posIndex: pattern.NewPosIndex(a),
+	}, nil
+}
+
+// NewSyntheticSystem generates a deterministic synthetic ontology + corpus
+// at the configured scale and analyses them — the substitution for the
+// paper's 72k PubMed papers and the Gene Ontology.
+func NewSyntheticSystem(cfg Config) (*System, error) {
+	o, err := ontology.Generate(ontology.GenConfig{
+		Seed:             cfg.Seed,
+		NumTerms:         cfg.OntologyTerms,
+		MaxDepth:         cfg.MaxDepth,
+		SecondParentProb: 0.12,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ctxsearch: generating ontology: %w", err)
+	}
+	gen := corpus.DefaultGenConfig(cfg.Papers)
+	gen.Seed = cfg.Seed
+	if cfg.TuneCorpus != nil {
+		cfg.TuneCorpus(&gen)
+	}
+	c, err := corpus.Generate(o, gen)
+	if err != nil {
+		return nil, fmt.Errorf("ctxsearch: generating corpus: %w", err)
+	}
+	return NewSystem(o, c, cfg)
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// MinContextSize returns the effective small-context exclusion cutoff.
+func (s *System) MinContextSize() int { return s.cfg.minContextSize(s.Corpus.Len()) }
+
+// BuildTextContextSet constructs the text-based context paper set (§4).
+func (s *System) BuildTextContextSet() *ContextSet {
+	return contextset.BuildTextBased(s.analyzer, s.Ontology, s.cfg.ContextSet)
+}
+
+// BuildPatternContextSet constructs the simplified pattern-based context
+// paper set (§4).
+func (s *System) BuildPatternContextSet() *ContextSet {
+	return contextset.BuildPatternBased(s.posIndex, s.analyzer, s.Ontology, s.cfg.ContextSet)
+}
+
+// CitationScorer returns the citation-based prestige scorer (§3.1).
+func (s *System) CitationScorer() *prestige.CitationScorer {
+	return prestige.NewCitationScorer(s.Corpus, s.cfg.PageRank)
+}
+
+// TextScorer returns the text-based prestige scorer (§3.2).
+func (s *System) TextScorer() *prestige.TextScorer {
+	return prestige.NewTextScorer(s.analyzer, s.cfg.TextWeights)
+}
+
+// PatternScorer returns the pattern-based prestige scorer (§3.3).
+func (s *System) PatternScorer() *prestige.PatternScorer {
+	return prestige.NewPatternScorer(s.posIndex, s.Ontology, s.cfg.Pattern, s.cfg.Match)
+}
+
+// score runs a scorer over a context set with the configured exclusion and
+// applies hierarchical max propagation (§3). Scoring fans out across
+// contexts per Config.Workers.
+func (s *System) score(sc prestige.Scorer, cs *ContextSet) Scores {
+	scores := prestige.ScoreAllParallel(sc, cs, s.MinContextSize(), s.cfg.Workers)
+	return prestige.PropagateMax(s.Ontology, scores)
+}
+
+// ScoreCitation computes citation-based prestige scores over a context set.
+func (s *System) ScoreCitation(cs *ContextSet) Scores { return s.score(s.CitationScorer(), cs) }
+
+// ScoreText computes text-based prestige scores over a context set.
+func (s *System) ScoreText(cs *ContextSet) Scores { return s.score(s.TextScorer(), cs) }
+
+// ScorePattern computes pattern-based prestige scores over a context set.
+func (s *System) ScorePattern(cs *ContextSet) Scores { return s.score(s.PatternScorer(), cs) }
+
+// Engine assembles the context-based search engine over a context set and
+// its prestige scores.
+func (s *System) Engine(cs *ContextSet, scores Scores) *Engine {
+	return search.NewEngine(s.index, cs, scores, s.cfg.Relevancy)
+}
+
+// BaselineTFIDF runs the whole-corpus TF-IDF keyword baseline.
+func (s *System) BaselineTFIDF(query string, threshold float64, limit int) []Hit {
+	return search.BaselineTFIDF(s.index, query, threshold, limit)
+}
+
+// BaselinePubMed runs the PubMed-style unranked baseline (descending PMID).
+func (s *System) BaselinePubMed(query string) []PaperID {
+	return search.BaselinePubMed(s.index, query)
+}
+
+// Analyzer exposes the analysed corpus features (advanced use: custom
+// scorers and metrics).
+func (s *System) Analyzer() *corpus.Analyzer { return s.analyzer }
+
+// Index exposes the inverted index (advanced use).
+func (s *System) Index() *index.Index { return s.index }
+
+// PosIndex exposes the positional index (advanced use).
+func (s *System) PosIndex() *pattern.PosIndex { return s.posIndex }

@@ -1,0 +1,3 @@
+module ctxsearch
+
+go 1.22

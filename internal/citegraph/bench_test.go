@@ -1,0 +1,67 @@
+package citegraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, e int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	for k := 0; k < e; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			_ = g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func BenchmarkPageRank1k(b *testing.B) {
+	g := randomGraph(1000, 12000, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PageRank(g, PageRankOpts{})
+	}
+}
+
+func BenchmarkPageRankE1(b *testing.B) {
+	g := randomGraph(1000, 12000, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PageRank(g, PageRankOpts{Teleport: TeleportE1})
+	}
+}
+
+func BenchmarkHITS1k(b *testing.B) {
+	g := randomGraph(1000, 12000, 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = HITS(g, 0, 0)
+	}
+}
+
+func BenchmarkSubgraph(b *testing.B) {
+	g := randomGraph(5000, 60000, 2)
+	nodes := make([]int, 500)
+	for i := range nodes {
+		nodes[i] = i * 10
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.Subgraph(nodes)
+	}
+}
+
+func BenchmarkBibliographicCoupling(b *testing.B) {
+	g := randomGraph(2000, 30000, 3)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.BibliographicCoupling(i%2000, (i*7+13)%2000)
+	}
+}

@@ -1,0 +1,123 @@
+package citegraph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop must fail")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("negative node must fail")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal("duplicate edge must be ignored, not fail")
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("Edges = %d, want 1 (dedup)", g.Edges())
+	}
+	if len(g.Out(0)) != 1 || len(g.In(1)) != 1 {
+		t.Fatal("adjacency lists wrong")
+	}
+}
+
+func TestNewGraphNegative(t *testing.T) {
+	if g := NewGraph(-5); g.Len() != 0 {
+		t.Fatalf("negative n should clamp to 0, got %d", g.Len())
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := NewGraph(5)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 3)
+	_ = g.AddEdge(3, 4)
+	_ = g.AddEdge(0, 4)
+	sg, mapping := g.Subgraph([]int{0, 1, 4, 4, 99})
+	if sg.Len() != 3 {
+		t.Fatalf("subgraph len = %d (dedup + range filter)", sg.Len())
+	}
+	if !reflect.DeepEqual(mapping, []int{0, 1, 4}) {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Surviving edges: 0→1 and 0→4 only.
+	if sg.Edges() != 2 {
+		t.Fatalf("subgraph edges = %d, want 2", sg.Edges())
+	}
+}
+
+func TestSparseness(t *testing.T) {
+	g := NewGraph(3)
+	if NewGraph(1).Sparseness() != 1 {
+		t.Error("tiny graph sparseness must be 1")
+	}
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	// 2 of 6 possible ordered pairs present → sparseness 2/3.
+	if got := g.Sparseness(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("sparseness = %v", got)
+	}
+}
+
+func TestBibliographicCoupling(t *testing.T) {
+	// Papers 0 and 1 both cite {2,3}; paper 4 cites {3}.
+	g := NewGraph(5)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(0, 3)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(1, 3)
+	_ = g.AddEdge(4, 3)
+	if got := g.BibliographicCoupling(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical reference sets: %v", got)
+	}
+	// |{3}| / sqrt(2·1)
+	if got := g.BibliographicCoupling(0, 4); math.Abs(got-1/math.Sqrt2) > 1e-12 {
+		t.Errorf("partial coupling: %v", got)
+	}
+	if got := g.BibliographicCoupling(2, 3); got != 0 {
+		t.Errorf("no references: %v", got)
+	}
+	if got := g.BibliographicCoupling(2, 2); got != 1 {
+		t.Errorf("self coupling: %v", got)
+	}
+}
+
+func TestCoCitation(t *testing.T) {
+	// Papers 2 and 3 are both cited by 0 and 1.
+	g := NewGraph(5)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(0, 3)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(1, 3)
+	_ = g.AddEdge(0, 4)
+	if got := g.CoCitation(2, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full co-citation: %v", got)
+	}
+	// 4 cited only by 0; shared with 2: {0} → 1/sqrt(2).
+	if got := g.CoCitation(2, 4); math.Abs(got-1/math.Sqrt2) > 1e-12 {
+		t.Errorf("partial co-citation: %v", got)
+	}
+	if got := g.CoCitation(0, 1); got != 0 {
+		t.Errorf("never cited: %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := overlap([]int32{3, 1, 2}, []int32{2, 4, 3}); got != 2 {
+		t.Errorf("overlap = %d", got)
+	}
+	if got := overlap(nil, []int32{1}); got != 0 {
+		t.Errorf("nil overlap = %d", got)
+	}
+}

@@ -1,0 +1,43 @@
+package contextset
+
+import (
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/pattern"
+)
+
+func benchFixture(b *testing.B) (*ontology.Ontology, *corpus.Analyzer, *pattern.PosIndex) {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 4, NumTerms: 60, MaxDepth: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(250))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	return o, a, pattern.NewPosIndex(a)
+}
+
+func BenchmarkBuildTextBased(b *testing.B) {
+	o, a, _ := benchFixture(b)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildTextBased(a, o, cfg)
+	}
+}
+
+func BenchmarkBuildPatternBased(b *testing.B) {
+	o, a, ix := benchFixture(b)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildPatternBased(ix, a, o, cfg)
+	}
+}

@@ -1,0 +1,535 @@
+// Package contextset implements the query-independent pre-processing step 1
+// of the paper: assigning papers to ontology-term contexts. It builds the
+// two context paper sets of §4 — the text-based set (similarity to a
+// representative paper) and the simplified pattern-based set (middle-tuple
+// matching, descendant folding, ancestor fallback with RateOfDecay) — which
+// the prestige score functions and the evaluation run on.
+package contextset
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/pattern"
+	"ctxsearch/internal/vector"
+)
+
+// Kind identifies how a context paper set was constructed.
+type Kind int
+
+// Context paper set kinds.
+const (
+	TextBased Kind = iota
+	PatternBased
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case TextBased:
+		return "text-based"
+	case PatternBased:
+		return "pattern-based"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config configures context paper set construction.
+type Config struct {
+	// TextThreshold is the minimum cosine similarity to the representative
+	// paper for membership in the text-based set.
+	TextThreshold float64
+	// TopContextsPerPaper additionally assigns every paper to its M
+	// best-matching contexts even below the threshold. This is what makes
+	// upper-level contexts large and diverse (generic papers land in the
+	// broad contexts they match best, with low absolute similarity) — the
+	// structure behind the paper's Figure 5.5 separability observation.
+	TopContextsPerPaper int
+	// MaxPerContext caps context size in the text-based set (0 = no cap);
+	// the highest-similarity papers win.
+	MaxPerContext int
+	// PatternThreshold is the minimum max-normalised pattern match score
+	// for membership in the pattern-based set.
+	PatternThreshold float64
+	// PatternConfig configures pattern construction for the pattern-based
+	// set; the simplified §4 variant forces Extended off and middle-only
+	// matching regardless of this value.
+	PatternConfig pattern.Config
+	// Workers bounds construction parallelism (0 = GOMAXPROCS, 1 = serial).
+	// Results are identical at any setting.
+	Workers int
+}
+
+// DefaultConfig returns thresholds used by the experiments, calibrated on
+// the synthetic corpus where unrelated-pair full-text cosines sit around
+// 0.2 and same-topic pairs above 0.5.
+func DefaultConfig() Config {
+	return Config{
+		TextThreshold:       0.35,
+		TopContextsPerPaper: 2,
+		MaxPerContext:       0,
+		PatternThreshold:    0.20,
+		PatternConfig:       pattern.DefaultConfig(),
+	}
+}
+
+// membership records one paper's membership in one context.
+type membership struct {
+	score float64 // assignment strength in [0,1] (1 for evidence papers)
+}
+
+// ContextSet is an immutable paper-to-context assignment.
+type ContextSet struct {
+	kind    Kind
+	onto    *ontology.Ontology
+	members map[ontology.TermID]map[corpus.PaperID]membership
+	reps    map[ontology.TermID]corpus.PaperID
+	// decay[ctx] < 1 when ctx inherited its papers from an ancestor.
+	decay map[ontology.TermID]float64
+	// inheritedFrom[ctx] is set when ctx's paper set came from an ancestor.
+	inheritedFrom map[ontology.TermID]ontology.TermID
+}
+
+func newContextSet(kind Kind, onto *ontology.Ontology) *ContextSet {
+	return &ContextSet{
+		kind:          kind,
+		onto:          onto,
+		members:       make(map[ontology.TermID]map[corpus.PaperID]membership),
+		reps:          make(map[ontology.TermID]corpus.PaperID),
+		decay:         make(map[ontology.TermID]float64),
+		inheritedFrom: make(map[ontology.TermID]ontology.TermID),
+	}
+}
+
+// Kind returns how the set was constructed.
+func (cs *ContextSet) Kind() Kind { return cs.kind }
+
+// Ontology returns the context hierarchy.
+func (cs *ContextSet) Ontology() *ontology.Ontology { return cs.onto }
+
+// Contexts returns all non-empty contexts sorted by term ID.
+func (cs *ContextSet) Contexts() []ontology.TermID {
+	out := make([]ontology.TermID, 0, len(cs.members))
+	for t, m := range cs.members {
+		if len(m) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContextsWithMinSize returns non-empty contexts with more than min papers,
+// sorted by term ID — the paper excludes contexts with ≤ 100 papers.
+func (cs *ContextSet) ContextsWithMinSize(min int) []ontology.TermID {
+	var out []ontology.TermID
+	for t, m := range cs.members {
+		if len(m) > min {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Papers returns the papers of a context in ID order.
+func (cs *ContextSet) Papers(ctx ontology.TermID) []corpus.PaperID {
+	m := cs.members[ctx]
+	out := make([]corpus.PaperID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PaperSet returns the membership set of a context; the map is shared and
+// must not be modified.
+func (cs *ContextSet) PaperSet(ctx ontology.TermID) map[corpus.PaperID]bool {
+	m := cs.members[ctx]
+	out := make(map[corpus.PaperID]bool, len(m))
+	for id := range m {
+		out[id] = true
+	}
+	return out
+}
+
+// Size returns the number of papers in a context.
+func (cs *ContextSet) Size(ctx ontology.TermID) int { return len(cs.members[ctx]) }
+
+// Contains reports membership of a paper in a context.
+func (cs *ContextSet) Contains(ctx ontology.TermID, p corpus.PaperID) bool {
+	_, ok := cs.members[ctx][p]
+	return ok
+}
+
+// AssignScore returns the assignment strength of a paper in a context
+// (0 when not a member).
+func (cs *ContextSet) AssignScore(ctx ontology.TermID, p corpus.PaperID) float64 {
+	return cs.members[ctx][p].score
+}
+
+// Representative returns the representative paper of a context in the
+// text-based set.
+func (cs *ContextSet) Representative(ctx ontology.TermID) (corpus.PaperID, bool) {
+	r, ok := cs.reps[ctx]
+	return r, ok
+}
+
+// Decay returns the RateOfDecay multiplier of a context: 1 for contexts
+// with their own papers, I(ancs)/I(desc) for contexts that inherited an
+// ancestor's paper set.
+func (cs *ContextSet) Decay(ctx ontology.TermID) float64 {
+	if d, ok := cs.decay[ctx]; ok {
+		return d
+	}
+	return 1
+}
+
+// InheritedFrom returns the ancestor a context inherited its papers from,
+// if any.
+func (cs *ContextSet) InheritedFrom(ctx ontology.TermID) (ontology.TermID, bool) {
+	a, ok := cs.inheritedFrom[ctx]
+	return a, ok
+}
+
+// ContextsOf returns the contexts containing a paper, sorted by term ID.
+func (cs *ContextSet) ContextsOf(p corpus.PaperID) []ontology.TermID {
+	var out []ontology.TermID
+	for t, m := range cs.members {
+		if _, ok := m[p]; ok {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (cs *ContextSet) add(ctx ontology.TermID, p corpus.PaperID, score float64) {
+	if score > 1 {
+		score = 1 // guard against cosine rounding slightly above 1
+	}
+	m := cs.members[ctx]
+	if m == nil {
+		m = make(map[corpus.PaperID]membership)
+		cs.members[ctx] = m
+	}
+	if prev, ok := m[p]; !ok || score > prev.score {
+		m[p] = membership{score: score}
+	}
+}
+
+// BuildTextBased constructs the text-based context paper set: for every
+// context with annotation evidence papers, the evidence paper closest to
+// the evidence centroid becomes the representative, and every corpus paper
+// whose full-text TF-IDF cosine to the representative reaches
+// cfg.TextThreshold joins the context.
+func BuildTextBased(a *corpus.Analyzer, onto *ontology.Ontology, cfg Config) *ContextSet {
+	cs := newContextSet(TextBased, onto)
+	c := a.Corpus()
+	terms := make([]ontology.TermID, 0, len(c.EvidenceTerms()))
+	repVecs := make(map[ontology.TermID]vector.Sparse)
+	repNorms := make(map[ontology.TermID]float64)
+	for _, term := range c.EvidenceTerms() {
+		if onto.Term(term) == nil {
+			continue
+		}
+		rep := chooseRepresentative(a, c.EvidencePapers(term))
+		cs.reps[term] = rep
+		repVecs[term] = a.TFIDFAll(rep)
+		repNorms[term] = a.TFIDFAllNorm(rep)
+		terms = append(terms, term)
+	}
+
+	type cand struct {
+		id  corpus.PaperID
+		sim float64
+	}
+	members := make(map[ontology.TermID][]cand, len(terms))
+	// Per-paper pass: threshold membership plus the paper's top-M contexts
+	// (generic papers join the broad contexts they match best, even with
+	// low absolute similarity).
+	type ts struct {
+		term ontology.TermID
+		sim  float64
+	}
+	// Per-paper similarity rows computed in parallel, merged in paper order
+	// so the result is identical to the serial construction.
+	type paperRow struct {
+		thresholded []ts
+		top         []ts
+	}
+	papers := c.Papers()
+	// Pre-warm the TF-IDF cache serially: concurrent first access is safe
+	// but would serialise on the analyzer lock anyway.
+	for _, p := range papers {
+		a.TFIDFAll(p.ID)
+	}
+	rows := make([]paperRow, len(papers))
+	parallelFor(len(papers), cfg.Workers, func(i int) {
+		p := papers[i]
+		pv := a.TFIDFAll(p.ID)
+		pn := a.TFIDFAllNorm(p.ID)
+		var row paperRow
+		var best []ts
+		for _, term := range terms {
+			sim := vector.CosineWithNorms(repVecs[term], pv, repNorms[term], pn)
+			if sim >= cfg.TextThreshold {
+				row.thresholded = append(row.thresholded, ts{term, sim})
+			} else if cfg.TopContextsPerPaper > 0 && sim > 0 {
+				best = append(best, ts{term, sim})
+			}
+		}
+		if cfg.TopContextsPerPaper > 0 && len(best) > 0 {
+			sort.Slice(best, func(x, y int) bool {
+				if best[x].sim != best[y].sim {
+					return best[x].sim > best[y].sim
+				}
+				return best[x].term < best[y].term
+			})
+			m := cfg.TopContextsPerPaper
+			if m > len(best) {
+				m = len(best)
+			}
+			row.top = best[:m]
+		}
+		rows[i] = row
+	})
+	for i, p := range papers {
+		for _, e := range rows[i].thresholded {
+			members[e.term] = append(members[e.term], cand{p.ID, e.sim})
+		}
+		for _, e := range rows[i].top {
+			members[e.term] = append(members[e.term], cand{p.ID, e.sim})
+		}
+	}
+
+	for _, term := range terms {
+		cands := members[term]
+		if cfg.MaxPerContext > 0 && len(cands) > cfg.MaxPerContext {
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].sim != cands[j].sim {
+					return cands[i].sim > cands[j].sim
+				}
+				return cands[i].id < cands[j].id
+			})
+			cands = cands[:cfg.MaxPerContext]
+		}
+		for _, cd := range cands {
+			cs.add(term, cd.id, cd.sim)
+		}
+		// Evidence papers always belong to their context.
+		for _, e := range c.EvidencePapers(term) {
+			cs.add(term, e, 1)
+		}
+	}
+	return cs
+}
+
+// chooseRepresentative picks the evidence paper with the highest cosine to
+// the evidence centroid (ties: lowest ID). With a single evidence paper it
+// is the representative.
+func chooseRepresentative(a *corpus.Analyzer, evidence []corpus.PaperID) corpus.PaperID {
+	if len(evidence) == 1 {
+		return evidence[0]
+	}
+	vecs := make([]vector.Sparse, len(evidence))
+	for i, id := range evidence {
+		vecs[i] = a.TFIDFAll(id)
+	}
+	centroid := vector.Centroid(vecs)
+	best := evidence[0]
+	bestSim := -1.0
+	for i, id := range evidence {
+		if sim := vector.Cosine(centroid, vecs[i]); sim > bestSim {
+			bestSim = sim
+			best = id
+		}
+	}
+	return best
+}
+
+// BuildPatternBased constructs the simplified pattern-based context paper
+// set of §4: per-term regular patterns matched by middle tuple only;
+// max-normalised match scores above cfg.PatternThreshold grant membership;
+// descendant papers are folded into ancestors; contexts still empty inherit
+// the closest non-empty ancestor's papers with RateOfDecay damping.
+func BuildPatternBased(ix *pattern.PosIndex, a *corpus.Analyzer, onto *ontology.Ontology, cfg Config) *ContextSet {
+	cs := newContextSet(PatternBased, onto)
+	c := a.Corpus()
+	pcfg := cfg.PatternConfig
+	pcfg.Extended = false // simplified variant
+	termDF := pattern.TermWordDF(onto, ix)
+	mcfg := pattern.DefaultMatchConfig()
+	mcfg.MiddleOnly = true
+
+	terms := make([]ontology.TermID, 0, len(c.EvidenceTerms()))
+	for _, term := range c.EvidenceTerms() {
+		if onto.Term(term) != nil {
+			terms = append(terms, term)
+		}
+	}
+	type termResult struct {
+		term   ontology.TermID
+		scores map[corpus.PaperID]float64
+	}
+	results := make([]termResult, len(terms))
+	parallelFor(len(terms), cfg.Workers, func(i int) {
+		term := terms[i]
+		training := c.EvidencePapers(term)
+		set := pattern.Build(ix, onto, term, training, termDF, pcfg)
+		scores := set.ScorePapers(ix, nil, mcfg)
+		results[i] = termResult{term, scores}
+	})
+	for i, term := range terms {
+		scores := results[i].scores
+		var max float64
+		for _, s := range scores {
+			if s > max {
+				max = s
+			}
+		}
+		if max > 0 {
+			for id, s := range scores {
+				if norm := s / max; norm >= cfg.PatternThreshold {
+					cs.add(term, id, norm)
+				}
+			}
+		}
+		for _, e := range c.EvidencePapers(term) {
+			cs.add(term, e, 1)
+		}
+	}
+
+	// Fold descendant papers into ancestors (children before parents).
+	foldDescendants(cs, onto)
+	// Ancestor fallback for empty contexts, parents before children so a
+	// chain of empty descendants inherits from the nearest originally
+	// non-empty ancestor transitively.
+	inheritFromAncestors(cs, onto)
+	return cs
+}
+
+// foldDescendants adds every context's papers to all its ancestors,
+// preserving the highest assignment score.
+func foldDescendants(cs *ContextSet, onto *ontology.Ontology) {
+	// Iterate terms deepest-first so scores propagate in one pass.
+	terms := append([]ontology.TermID(nil), onto.TermIDs()...)
+	sort.Slice(terms, func(i, j int) bool {
+		li, lj := onto.Level(terms[i]), onto.Level(terms[j])
+		if li != lj {
+			return li > lj
+		}
+		return terms[i] < terms[j]
+	})
+	for _, t := range terms {
+		m := cs.members[t]
+		if len(m) == 0 {
+			continue
+		}
+		for _, parent := range onto.Parents(t) {
+			if onto.Level(parent) < 2 {
+				continue // roots are not contexts
+			}
+			for id, mem := range m {
+				cs.add(parent, id, mem.score)
+			}
+		}
+	}
+}
+
+// inheritFromAncestors assigns, to every still-empty non-root context, the
+// paper set of its closest non-empty ancestor, recording the RateOfDecay.
+func inheritFromAncestors(cs *ContextSet, onto *ontology.Ontology) {
+	terms := append([]ontology.TermID(nil), onto.TermIDs()...)
+	sort.Slice(terms, func(i, j int) bool {
+		li, lj := onto.Level(terms[i]), onto.Level(terms[j])
+		if li != lj {
+			return li < lj
+		}
+		return terms[i] < terms[j]
+	})
+	for _, t := range terms {
+		if onto.Level(t) < 2 || len(cs.members[t]) > 0 {
+			continue
+		}
+		anc, ok := closestNonEmptyAncestor(cs, onto, t)
+		if !ok {
+			continue
+		}
+		src := cs.members[anc]
+		for id, mem := range src {
+			cs.add(t, id, mem.score)
+		}
+		// If the ancestor itself inherited, decay compounds from the
+		// original source.
+		origin := anc
+		if from, inherited := cs.inheritedFrom[anc]; inherited {
+			origin = from
+		}
+		cs.inheritedFrom[t] = origin
+		cs.decay[t] = onto.RateOfDecay(origin, t)
+	}
+}
+
+// parallelFor runs fn(i) for i in [0,n) across a bounded worker pool and
+// waits for completion. workers ≤ 0 selects GOMAXPROCS.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// closestNonEmptyAncestor walks up the hierarchy breadth-first and returns
+// the nearest ancestor (by level distance) with a non-empty paper set.
+func closestNonEmptyAncestor(cs *ContextSet, onto *ontology.Ontology, t ontology.TermID) (ontology.TermID, bool) {
+	frontier := append([]ontology.TermID(nil), onto.Parents(t)...)
+	seen := map[ontology.TermID]bool{}
+	for len(frontier) > 0 {
+		var next []ontology.TermID
+		// Deterministic: inspect the frontier in sorted order.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, a := range frontier {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			if onto.Level(a) >= 2 && len(cs.members[a]) > 0 {
+				return a, true
+			}
+			next = append(next, onto.Parents(a)...)
+		}
+		frontier = next
+	}
+	return "", false
+}

@@ -1,0 +1,80 @@
+package contextset
+
+import (
+	"fmt"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// Snapshot is the serialisable form of a ContextSet. Context paper sets are
+// query-independent pre-processing artefacts (the paper's tasks 1–2 run
+// offline), so a real deployment computes them once and persists them; the
+// snapshot carries everything needed to rebuild the set against the same
+// ontology.
+type Snapshot struct {
+	Kind          Kind
+	Members       map[ontology.TermID]map[corpus.PaperID]float64
+	Reps          map[ontology.TermID]corpus.PaperID
+	Decay         map[ontology.TermID]float64
+	InheritedFrom map[ontology.TermID]ontology.TermID
+}
+
+// Snapshot captures the set's full state.
+func (cs *ContextSet) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Kind:          cs.kind,
+		Members:       make(map[ontology.TermID]map[corpus.PaperID]float64, len(cs.members)),
+		Reps:          make(map[ontology.TermID]corpus.PaperID, len(cs.reps)),
+		Decay:         make(map[ontology.TermID]float64, len(cs.decay)),
+		InheritedFrom: make(map[ontology.TermID]ontology.TermID, len(cs.inheritedFrom)),
+	}
+	for ctx, m := range cs.members {
+		mm := make(map[corpus.PaperID]float64, len(m))
+		for id, mem := range m {
+			mm[id] = mem.score
+		}
+		snap.Members[ctx] = mm
+	}
+	for ctx, r := range cs.reps {
+		snap.Reps[ctx] = r
+	}
+	for ctx, d := range cs.decay {
+		snap.Decay[ctx] = d
+	}
+	for ctx, a := range cs.inheritedFrom {
+		snap.InheritedFrom[ctx] = a
+	}
+	return snap
+}
+
+// FromSnapshot rebuilds a ContextSet over the given ontology. Terms in the
+// snapshot that no longer exist in the ontology are an error — the snapshot
+// is only valid against the ontology it was built from.
+func FromSnapshot(onto *ontology.Ontology, snap *Snapshot) (*ContextSet, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("contextset: nil snapshot")
+	}
+	cs := newContextSet(snap.Kind, onto)
+	for ctx, m := range snap.Members {
+		if onto.Term(ctx) == nil {
+			return nil, fmt.Errorf("contextset: snapshot references unknown term %s", ctx)
+		}
+		for id, score := range m {
+			cs.add(ctx, id, score)
+		}
+	}
+	for ctx, r := range snap.Reps {
+		if onto.Term(ctx) == nil {
+			return nil, fmt.Errorf("contextset: snapshot rep references unknown term %s", ctx)
+		}
+		cs.reps[ctx] = r
+	}
+	for ctx, d := range snap.Decay {
+		cs.decay[ctx] = d
+	}
+	for ctx, a := range snap.InheritedFrom {
+		cs.inheritedFrom[ctx] = a
+	}
+	return cs, nil
+}

@@ -1,0 +1,245 @@
+package corpus
+
+import (
+	"sort"
+	"sync"
+
+	"ctxsearch/internal/textproc"
+	"ctxsearch/internal/vector"
+)
+
+// Features holds the analysed representation of one paper: per-section
+// stemmed token streams and TF vectors, the whole-paper TF vector, and the
+// author set. All ranking functions consume Features rather than raw text.
+type Features struct {
+	ID PaperID
+	// Tokens holds the stemmed, stopword-filtered token stream per section.
+	Tokens map[Section][]string
+	// TF holds the raw term-frequency vector per section.
+	TF map[Section]vector.Sparse
+	// AllTF is the merged term-frequency vector over all sections.
+	AllTF vector.Sparse
+	// Authors is the normalised (lowercased) author set.
+	Authors map[string]bool
+}
+
+// Analyzer tokenizes papers and maintains corpus-wide document frequencies.
+// Build one with NewAnalyzer; it analyses every paper eagerly so DF tables
+// are complete before any similarity is computed.
+type Analyzer struct {
+	corpus *Corpus
+	tok    *textproc.Tokenizer
+	feats  []*Features
+	// DF over whole-paper term supports, used for TF-IDF weighting.
+	df *vector.DF
+	// cached TF-IDF vectors per section, computed lazily; mu guards the
+	// caches so parallel scorers can share one analyzer.
+	mu          sync.Mutex
+	weighted    []map[Section]vector.Sparse
+	weightedAll []vector.Sparse
+	norms       []map[Section]float64
+	normsAll    []float64
+}
+
+// NewAnalyzer analyses every paper in the corpus with a stemming,
+// stopword-filtering tokenizer and builds the corpus DF table.
+func NewAnalyzer(c *Corpus) *Analyzer {
+	a := &Analyzer{
+		corpus:      c,
+		tok:         textproc.NewTokenizer(textproc.WithStemming(), textproc.WithStopwords(), textproc.WithMinLength(2)),
+		feats:       make([]*Features, c.Len()),
+		df:          vector.NewDF(),
+		weighted:    make([]map[Section]vector.Sparse, c.Len()),
+		weightedAll: make([]vector.Sparse, c.Len()),
+		norms:       make([]map[Section]float64, c.Len()),
+		normsAll:    make([]float64, c.Len()),
+	}
+	for i := range a.normsAll {
+		a.normsAll[i] = -1
+	}
+	for _, p := range c.Papers() {
+		f := &Features{
+			ID:      p.ID,
+			Tokens:  make(map[Section][]string, len(Sections)),
+			TF:      make(map[Section]vector.Sparse, len(Sections)),
+			AllTF:   vector.New(),
+			Authors: make(map[string]bool, len(p.Authors)),
+		}
+		for _, s := range Sections {
+			toks := a.tok.Terms(p.SectionText(s))
+			f.Tokens[s] = toks
+			tf := vector.FromTerms(toks)
+			f.TF[s] = tf
+			f.AllTF.Add(tf)
+		}
+		for _, au := range p.Authors {
+			f.Authors[normAuthor(au)] = true
+		}
+		a.feats[p.ID] = f
+		a.df.AddDoc(f.AllTF)
+	}
+	return a
+}
+
+func normAuthor(a string) string {
+	out := make([]byte, 0, len(a))
+	for i := 0; i < len(a); i++ {
+		c := a[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// Corpus returns the analysed corpus.
+func (a *Analyzer) Corpus() *Corpus { return a.corpus }
+
+// Features returns the analysed features of a paper, or nil when out of
+// range.
+func (a *Analyzer) Features(id PaperID) *Features {
+	if int(id) < 0 || int(id) >= len(a.feats) {
+		return nil
+	}
+	return a.feats[id]
+}
+
+// DF returns the corpus document-frequency table.
+func (a *Analyzer) DF() *vector.DF { return a.df }
+
+// TFIDF returns the cached TF-IDF vector of a paper section.
+func (a *Analyzer) TFIDF(id PaperID, s Section) vector.Sparse {
+	if int(id) < 0 || int(id) >= len(a.feats) {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.weighted[id] == nil {
+		a.weighted[id] = make(map[Section]vector.Sparse, len(Sections))
+	}
+	if v, ok := a.weighted[id][s]; ok {
+		return v
+	}
+	v := a.df.Weight(a.feats[id].TF[s])
+	a.weighted[id][s] = v
+	return v
+}
+
+// TFIDFAll returns the cached TF-IDF vector over the paper's full text.
+func (a *Analyzer) TFIDFAll(id PaperID) vector.Sparse {
+	if int(id) < 0 || int(id) >= len(a.feats) {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v := a.weightedAll[id]; v != nil {
+		return v
+	}
+	v := a.df.Weight(a.feats[id].AllTF)
+	a.weightedAll[id] = v
+	return v
+}
+
+// TFIDFNorm returns the cached Euclidean norm of a section's TF-IDF vector.
+func (a *Analyzer) TFIDFNorm(id PaperID, s Section) float64 {
+	if int(id) < 0 || int(id) >= len(a.feats) {
+		return 0
+	}
+	v := a.TFIDF(id, s)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.norms[id] == nil {
+		a.norms[id] = make(map[Section]float64, len(Sections))
+	}
+	if n, ok := a.norms[id][s]; ok {
+		return n
+	}
+	n := v.Norm()
+	a.norms[id][s] = n
+	return n
+}
+
+// TFIDFAllNorm returns the cached norm of the paper's full-text TF-IDF
+// vector.
+func (a *Analyzer) TFIDFAllNorm(id PaperID) float64 {
+	if int(id) < 0 || int(id) >= len(a.feats) {
+		return 0
+	}
+	v := a.TFIDFAll(id)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.normsAll[id] >= 0 {
+		return a.normsAll[id]
+	}
+	n := v.Norm()
+	a.normsAll[id] = n
+	return n
+}
+
+// QueryVector tokenizes a free-text query with the analyzer's tokenizer and
+// returns its TF-IDF vector under the corpus DF table.
+func (a *Analyzer) QueryVector(q string) vector.Sparse {
+	return a.df.Weight(vector.FromTerms(a.tok.Terms(q)))
+}
+
+// Tokenizer returns the analyzer's tokenizer, so other components (pattern
+// mining, context-term processing) tokenize identically.
+func (a *Analyzer) Tokenizer() *textproc.Tokenizer { return a.tok }
+
+// DocFreqOfPhrase returns in how many papers the given stemmed word
+// sequence occurs contiguously in any section. Used by the pattern scorer's
+// PaperCoverage criterion.
+func (a *Analyzer) DocFreqOfPhrase(words []string) int {
+	if len(words) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range a.feats {
+		if paperHasPhrase(f, words) {
+			n++
+		}
+	}
+	return n
+}
+
+func paperHasPhrase(f *Features, words []string) bool {
+	for _, s := range Sections {
+		toks := f.Tokens[s]
+		if containsPhrase(toks, words) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPhrase(toks, words []string) bool {
+	if len(words) == 0 || len(toks) < len(words) {
+		return false
+	}
+outer:
+	for i := 0; i+len(words) <= len(toks); i++ {
+		for j, w := range words {
+			if toks[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CoAuthorIndex maps each normalised author to the sorted set of papers
+// they appear on; used by Level-1 author overlap.
+func (a *Analyzer) CoAuthorIndex() map[string][]PaperID {
+	idx := make(map[string][]PaperID)
+	for _, f := range a.feats {
+		for au := range f.Authors {
+			idx[au] = append(idx[au], f.ID)
+		}
+	}
+	for au := range idx {
+		sort.Slice(idx[au], func(i, j int) bool { return idx[au][i] < idx[au][j] })
+	}
+	return idx
+}

@@ -1,0 +1,138 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ctxsearch/internal/ontology"
+)
+
+// Annotation is one gene-annotation record linking an ontology term to the
+// paper (PMID) providing its evidence — the unit of the GO Annotation File
+// (GAF) format. Real deployments load these files to obtain the per-term
+// training papers the pattern-based machinery needs; the synthetic
+// generator marks equivalent evidence directly.
+type Annotation struct {
+	Term     ontology.TermID
+	PMID     int
+	Evidence string // GO evidence code, e.g. "EXP", "IDA", "TAS"
+	Symbol   string // annotated gene/product symbol
+}
+
+// ParseGAF reads the subset of GAF 2.x this system uses: tab-separated
+// lines with the GO ID in column 5, a DB:Reference in column 6 (only
+// PMID:n references are kept), the evidence code in column 7 and the
+// object symbol in column 3. Comment lines (!) and non-PMID references are
+// skipped; short lines are an error.
+func ParseGAF(r io.Reader) ([]Annotation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Annotation
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "!") {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) < 7 {
+			return nil, fmt.Errorf("gaf: line %d: %d columns, want ≥ 7", lineNo, len(cols))
+		}
+		ref := cols[5]
+		pmid := 0
+		for _, r := range strings.Split(ref, "|") {
+			if rest, ok := strings.CutPrefix(r, "PMID:"); ok {
+				n, err := strconv.Atoi(rest)
+				if err != nil {
+					return nil, fmt.Errorf("gaf: line %d: bad PMID %q", lineNo, r)
+				}
+				pmid = n
+				break
+			}
+		}
+		if pmid == 0 {
+			continue // non-literature evidence (e.g. GO_REF) — skip
+		}
+		out = append(out, Annotation{
+			Term:     ontology.TermID(cols[4]),
+			PMID:     pmid,
+			Evidence: cols[6],
+			Symbol:   cols[2],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gaf: %w", err)
+	}
+	return out, nil
+}
+
+// WriteGAF serialises the corpus's evidence assignments as a GAF 2.2 file
+// (one line per evidence paper × term), so synthetic corpora interoperate
+// with GAF-consuming tooling and round-trip tests can verify the parser.
+func WriteGAF(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "!gaf-version: 2.2\n!generated-by: ctxsearch\n")
+	for _, term := range c.EvidenceTerms() {
+		for _, id := range c.EvidencePapers(term) {
+			p := c.Paper(id)
+			// DB, ObjectID, Symbol, Qualifier, GOID, Reference, Evidence,
+			// With, Aspect, Name, Synonym, Type, Taxon, Date, AssignedBy
+			fmt.Fprintf(bw, "CTXS\tP%07d\tpaper%d\tinvolved_in\t%s\tPMID:%d\tEXP\t\tP\t\t\tprotein\ttaxon:9606\t20060101\tCTXS\n",
+				id, id, term, p.PMID)
+		}
+	}
+	return bw.Flush()
+}
+
+// ApplyAnnotations marks evidence papers on a paper slice (before NewCorpus
+// is called) from parsed annotations: each annotation whose PMID matches a
+// paper makes that paper an evidence paper with the annotation's term as
+// primary topic (prepended if absent). Returns how many annotations were
+// applied and the PMIDs that matched nothing, sorted.
+func ApplyAnnotations(papers []*Paper, annots []Annotation) (applied int, unmatched []int) {
+	byPMID := make(map[int]*Paper, len(papers))
+	for _, p := range papers {
+		byPMID[p.PMID] = p
+	}
+	missing := map[int]bool{}
+	for _, a := range annots {
+		p, ok := byPMID[a.PMID]
+		if !ok {
+			missing[a.PMID] = true
+			continue
+		}
+		applied++
+		p.Evidence = true
+		// Prepend the term as primary topic when not already present.
+		has := false
+		for _, t := range p.Topics {
+			if t == a.Term {
+				has = true
+				break
+			}
+		}
+		if !has {
+			p.Topics = append([]ontology.TermID{a.Term}, p.Topics...)
+		} else if len(p.Topics) > 0 && p.Topics[0] != a.Term {
+			// Move the annotated term to the front: evidence papers train
+			// the term they were annotated for.
+			rest := make([]ontology.TermID, 0, len(p.Topics)-1)
+			for _, t := range p.Topics {
+				if t != a.Term {
+					rest = append(rest, t)
+				}
+			}
+			p.Topics = append([]ontology.TermID{a.Term}, rest...)
+		}
+	}
+	for pmid := range missing {
+		unmatched = append(unmatched, pmid)
+	}
+	sort.Ints(unmatched)
+	return applied, unmatched
+}

@@ -1,0 +1,389 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ctxsearch/internal/ontology"
+)
+
+// GenConfig configures the synthetic corpus generator.
+type GenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumPapers is the number of papers to generate.
+	NumPapers int
+	// TopicMixProb is the per-position probability that a sampled word
+	// comes from the paper's topic signature rather than the background
+	// vocabulary, for the body section. Title/abstract/index terms use
+	// progressively higher topicality.
+	TopicMixProb float64
+	// EvidencePerTerm caps how many papers are marked as annotation
+	// evidence (training) papers per term.
+	EvidencePerTerm int
+	// RefMean is the mean number of references per paper.
+	RefMean int
+	// InTopicCiteProb is the probability a reference goes to a paper
+	// sharing a topic (vs a uniformly random older paper). The paper's §1
+	// attributes citation-score weakness to cross-context citations; this
+	// knob controls exactly that sparseness.
+	InTopicCiteProb float64
+	// CiteUpProb is the probability an in-topic citation is redirected to
+	// a paper of an ANCESTOR of the topic instead of the topic itself.
+	// Real papers cite foundational (broader) work, so deep contexts keep
+	// few citations internal — the per-context sparseness the paper's §5
+	// blames for the citation function's weakness.
+	CiteUpProb float64
+	// AuthorsPerTopic is the size of each topic's author community.
+	AuthorsPerTopic int
+	// YearRange spans publication years [MinYear, MaxYear].
+	MinYear, MaxYear int
+}
+
+// DefaultGenConfig returns the generator configuration used by the
+// experiments at the given corpus size.
+func DefaultGenConfig(numPapers int) GenConfig {
+	return GenConfig{
+		Seed:            1,
+		NumPapers:       numPapers,
+		TopicMixProb:    0.22,
+		EvidencePerTerm: 5,
+		RefMean:         12,
+		InTopicCiteProb: 0.55,
+		CiteUpProb:      0.80,
+		AuthorsPerTopic: 9,
+		MinYear:         1990,
+		MaxYear:         2006,
+	}
+}
+
+// topicModel holds the per-term generative vocabulary.
+type topicModel struct {
+	term ontology.TermID
+	// nameWords are the words of the term's own name (highly topical).
+	nameWords []string
+	// namePhrase is the full term name, emitted verbatim sometimes so that
+	// pattern mining finds the term words as contiguous phrases.
+	namePhrase string
+	// signature is the wider topical vocabulary: own and ancestor name
+	// words plus synthetic gene symbols unique to the term.
+	signature []string
+	// authors is the term's author community.
+	authors []string
+}
+
+// Generate produces a deterministic synthetic corpus over the given
+// ontology. Every generated paper receives 1–3 ground-truth topics drawn
+// from non-root terms; text sections are sampled from a mixture of the
+// topic signatures and the background vocabulary; citations prefer papers
+// sharing a topic; per-term evidence papers are marked.
+func Generate(onto *ontology.Ontology, cfg GenConfig) (*Corpus, error) {
+	if cfg.NumPapers <= 0 {
+		return nil, fmt.Errorf("corpus: NumPapers must be positive, got %d", cfg.NumPapers)
+	}
+	if onto == nil || onto.Len() == 0 {
+		return nil, fmt.Errorf("corpus: ontology is empty")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	models, termList := buildTopicModels(onto, cfg, rng)
+	if len(termList) == 0 {
+		return nil, fmt.Errorf("corpus: ontology has no non-root terms to use as topics")
+	}
+
+	papers := make([]*Paper, cfg.NumPapers)
+	byTopic := make(map[ontology.TermID][]PaperID)
+	evidenceCount := make(map[ontology.TermID]int)
+	// Non-root ancestors per term, for upward citation redirection.
+	ancestorsOf := make(map[ontology.TermID][]ontology.TermID, len(termList))
+	for _, t := range termList {
+		for _, a := range onto.Ancestors(t) {
+			if onto.Level(a) >= 2 {
+				ancestorsOf[t] = append(ancestorsOf[t], a)
+			}
+		}
+	}
+
+	for i := 0; i < cfg.NumPapers; i++ {
+		id := PaperID(i)
+		topics := drawTopics(onto, termList, rng)
+		p := &Paper{
+			ID:     id,
+			PMID:   10_000_000 + i,
+			Year:   cfg.MinYear + i*(cfg.MaxYear-cfg.MinYear+1)/cfg.NumPapers,
+			Topics: topics,
+		}
+		var mix []*topicModel
+		for _, t := range topics {
+			mix = append(mix, models[t])
+		}
+		// Papers on broad (shallow) topics read generically — a paper about
+		// "biological process"-level concepts has no sharp vocabulary —
+		// while deep-topic papers are sharply topical. This is what makes
+		// representative papers of upper-level contexts characterise them
+		// poorly (the paper's Figure 5.5 observation).
+		depth := onto.Level(topics[0])
+		sharp := 0.45 + 0.11*float64(depth-2)
+		if sharp > 1 {
+			sharp = 1
+		}
+		topical := cfg.TopicMixProb * sharp
+		p.Title = genText(rng, mix, 9+rng.Intn(6), 3.2*topical)
+		p.Abstract = genText(rng, mix, 90+rng.Intn(70), 2.0*topical)
+		p.Body = genText(rng, mix, 380+rng.Intn(420), topical)
+		p.IndexTerms = genIndexTerms(rng, mix)
+		p.Authors = genAuthors(rng, mix)
+		p.References = genReferences(rng, cfg, p, byTopic, ancestorsOf, i)
+
+		if evidenceCount[topics[0]] < cfg.EvidencePerTerm {
+			p.Evidence = true
+			evidenceCount[topics[0]]++
+		}
+		papers[i] = p
+		for _, t := range topics {
+			byTopic[t] = append(byTopic[t], id)
+		}
+	}
+	return NewCorpus(papers)
+}
+
+// buildTopicModels derives each non-root term's generative vocabulary and
+// author community.
+func buildTopicModels(onto *ontology.Ontology, cfg GenConfig, rng *rand.Rand) (map[ontology.TermID]*topicModel, []ontology.TermID) {
+	models := make(map[ontology.TermID]*topicModel, onto.Len())
+	var termList []ontology.TermID
+	for _, id := range onto.TermIDs() {
+		if onto.Level(id) < 2 {
+			continue // roots are not usable topics
+		}
+		t := onto.Term(id)
+		name := strings.ToLower(t.Name)
+		words := strings.Fields(name)
+		// Own name words carry triple weight so deep topics stay textually
+		// distinct from the ancestors whose vocabulary they embed.
+		var sig []string
+		for k := 0; k < 3; k++ {
+			sig = append(sig, words...)
+		}
+		// Ancestor vocabulary, thinner with hierarchical distance.
+		level := onto.Level(id)
+		for _, anc := range onto.Ancestors(id) {
+			al := onto.Level(anc)
+			if al < 2 {
+				continue
+			}
+			dist := level - al
+			if dist < 1 {
+				dist = 1
+			}
+			if dist > 3 {
+				continue // far ancestors contribute nothing
+			}
+			for _, w := range strings.Fields(strings.ToLower(onto.Term(anc).Name)) {
+				sig = append(sig, w)
+			}
+		}
+		// Synthetic gene symbols unique to the term, e.g. "gqr4b". These
+		// play the role of the gene/protein names that make real genomics
+		// abstracts separable.
+		for g := 0; g < 6; g++ {
+			sym := fmt.Sprintf("%c%c%c%d%c",
+				'a'+rng.Intn(26), 'a'+rng.Intn(26), 'a'+rng.Intn(26),
+				1+rng.Intn(9), 'a'+rng.Intn(26))
+			sig = append(sig, sym)
+		}
+		m := &topicModel{term: id, nameWords: words, namePhrase: name, signature: sig}
+		for a := 0; a < cfg.AuthorsPerTopic; a++ {
+			m.authors = append(m.authors,
+				firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))])
+		}
+		models[id] = m
+		termList = append(termList, id)
+	}
+	sort.Slice(termList, func(i, j int) bool { return termList[i] < termList[j] })
+	return models, termList
+}
+
+// drawTopics picks 1–3 ground-truth topics: a primary term uniform over
+// non-root terms, then with decreasing probability an ancestor or another
+// random term, echoing the topic diffusion of real papers.
+func drawTopics(onto *ontology.Ontology, termList []ontology.TermID, rng *rand.Rand) []ontology.TermID {
+	primary := termList[rng.Intn(len(termList))]
+	topics := []ontology.TermID{primary}
+	if rng.Float64() < 0.45 {
+		if parents := onto.Parents(primary); len(parents) > 0 && onto.Level(parents[0]) >= 2 {
+			topics = append(topics, parents[0])
+		}
+	}
+	if rng.Float64() < 0.25 {
+		other := termList[rng.Intn(len(termList))]
+		dup := false
+		for _, t := range topics {
+			if t == other {
+				dup = true
+			}
+		}
+		if !dup {
+			topics = append(topics, other)
+		}
+	}
+	return topics
+}
+
+// genText samples n words. With probability topicProb a word comes from a
+// topic model (primary weighted double); topical emissions sometimes output
+// the full term-name phrase so patterns appear contiguously. Background
+// words are sampled with a Zipf-like rank distribution. Sentences of 8–18
+// words are capitalised and period-terminated so the text looks like prose.
+func genText(rng *rand.Rand, mix []*topicModel, n int, topicProb float64) string {
+	if topicProb > 0.9 {
+		topicProb = 0.9
+	}
+	var b strings.Builder
+	b.Grow(n * 8)
+	sentenceLeft := 0
+	emitted := 0
+	for emitted < n {
+		if sentenceLeft <= 0 {
+			sentenceLeft = 8 + rng.Intn(11)
+			if b.Len() > 0 {
+				b.WriteString(". ")
+			}
+		} else {
+			b.WriteByte(' ')
+		}
+		if rng.Float64() < topicProb {
+			m := pickTopic(rng, mix)
+			if rng.Float64() < 0.25 {
+				// Emit the whole term-name phrase.
+				b.WriteString(m.namePhrase)
+				emitted += len(m.nameWords)
+				sentenceLeft -= len(m.nameWords)
+				continue
+			}
+			b.WriteString(m.signature[rng.Intn(len(m.signature))])
+		} else {
+			b.WriteString(zipfWord(rng))
+		}
+		emitted++
+		sentenceLeft--
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// pickTopic selects a topic from the mixture with the primary topic (index
+// 0) given double weight.
+func pickTopic(rng *rand.Rand, mix []*topicModel) *topicModel {
+	if len(mix) == 1 {
+		return mix[0]
+	}
+	k := rng.Intn(len(mix) + 1)
+	if k >= len(mix) {
+		k = 0
+	}
+	return mix[k]
+}
+
+// zipfWord samples a background word with probability ∝ 1/rank.
+func zipfWord(rng *rand.Rand) string {
+	n := len(backgroundVocab)
+	// Inverse-CDF sampling for 1/rank over n items: harmonic approximation.
+	u := rng.Float64()
+	// H(n) ≈ ln(n) + γ; pick rank so H(rank)/H(n) ≈ u → rank ≈ n^u.
+	rank := int(math.Pow(float64(n), u))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return backgroundVocab[rank-1]
+}
+
+// genIndexTerms emits 4–8 index terms: term-name phrases of the topics plus
+// a couple of signature words.
+func genIndexTerms(rng *rand.Rand, mix []*topicModel) []string {
+	var out []string
+	for _, m := range mix {
+		out = append(out, m.namePhrase)
+	}
+	extra := 2 + rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		m := pickTopic(rng, mix)
+		out = append(out, m.signature[rng.Intn(len(m.signature))])
+	}
+	return out
+}
+
+// genAuthors draws 2–5 authors, mostly from the primary topic's community
+// so that author-overlap similarity is informative.
+func genAuthors(rng *rand.Rand, mix []*topicModel) []string {
+	n := 2 + rng.Intn(4)
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		m := mix[0]
+		if rng.Float64() < 0.25 {
+			m = pickTopic(rng, mix)
+		}
+		a := m.authors[rng.Intn(len(m.authors))]
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+		if len(seen) >= len(m.authors)*len(mix) {
+			break // communities exhausted; accept fewer authors
+		}
+	}
+	return out
+}
+
+// genReferences draws citations for paper i: mostly to older papers sharing
+// a topic (weighted toward already-cited papers, i.e. preferential
+// attachment), the rest uniformly random older papers.
+func genReferences(rng *rand.Rand, cfg GenConfig, p *Paper, byTopic map[ontology.TermID][]PaperID, ancestorsOf map[ontology.TermID][]ontology.TermID, i int) []PaperID {
+	if i == 0 {
+		return nil
+	}
+	nRefs := cfg.RefMean/2 + rng.Intn(cfg.RefMean+1)
+	seen := map[PaperID]bool{}
+	var out []PaperID
+	// Bounded retries: small in-topic pools reject duplicates often, so a
+	// single pass would dilute the in-topic bias toward random citations.
+	for attempts := 0; len(out) < nRefs && attempts < 8*nRefs; attempts++ {
+		var cand PaperID = -1
+		if rng.Float64() < cfg.InTopicCiteProb {
+			topic := p.Topics[rng.Intn(len(p.Topics))]
+			// Citations prefer broader, foundational work: redirect to an
+			// ancestor topic's pool with probability CiteUpProb.
+			if ancs := ancestorsOf[topic]; len(ancs) > 0 && rng.Float64() < cfg.CiteUpProb {
+				topic = ancs[rng.Intn(len(ancs))]
+			}
+			pool := byTopic[topic]
+			if len(pool) > 0 {
+				// Preferential attachment flavour: sample two, keep the
+				// older (older papers accumulate more citations naturally).
+				a := pool[rng.Intn(len(pool))]
+				b := pool[rng.Intn(len(pool))]
+				cand = a
+				if b < a {
+					cand = b
+				}
+			}
+		}
+		if cand < 0 {
+			cand = PaperID(rng.Intn(i))
+		}
+		if cand >= p.ID || seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		out = append(out, cand)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,52 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c, _ := testCorpus(t, 60)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// One line per paper.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != c.Len() {
+		t.Fatalf("lines = %d, want %d", lines, c.Len())
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for i := range c.Papers() {
+		a, b := c.Papers()[i], got.Papers()[i]
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("paper %d differs:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(c.EvidenceTerms(), got.EvidenceTerms()) {
+		t.Fatal("evidence index differs")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON must fail")
+	}
+	// Valid JSON but invalid corpus (non-dense IDs).
+	if _, err := ReadJSONL(strings.NewReader(`{"id":5,"pmid":1,"year":2000,"title":"t","abstract":"a","body":"b"}`)); err == nil {
+		t.Fatal("non-dense IDs must fail")
+	}
+	// Empty input → empty corpus.
+	c, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("empty input: %v, %v", c, err)
+	}
+}

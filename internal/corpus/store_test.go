@@ -1,0 +1,76 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, _ := testCorpus(t, 80)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), c.Len())
+	}
+	for i := range c.Papers() {
+		a, b := c.Papers()[i], got.Papers()[i]
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("paper %d not preserved:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// Indexes must be rebuilt identically.
+	for _, p := range c.Papers() {
+		if !reflect.DeepEqual(c.CitedBy(p.ID), got.CitedBy(p.ID)) {
+			t.Fatalf("CitedBy(%d) differs", p.ID)
+		}
+	}
+	if !reflect.DeepEqual(c.EvidenceTerms(), got.EvidenceTerms()) {
+		t.Fatal("evidence terms differ")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c, _ := testCorpus(t, 20)
+	path := filepath.Join(t.TempDir(), "corpus.gob")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("Len = %d", got.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage input must fail")
+	}
+	if _, err := LoadFile("/nonexistent/path/corpus.gob"); err == nil {
+		t.Error("missing file must fail")
+	}
+	// Wrong magic.
+	var buf bytes.Buffer
+	c, _ := testCorpus(t, 5)
+	_ = c.Save(&buf)
+	b := buf.Bytes()
+	// Corrupt the magic string bytes.
+	idx := bytes.Index(b, []byte("ctxsearch-corpus"))
+	if idx < 0 {
+		t.Fatal("magic not found in encoding")
+	}
+	b[idx] = 'X'
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("bad magic must fail")
+	}
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import "strings"
+
+// backgroundVocab is the shared non-topical vocabulary of the synthetic
+// papers — general scientific prose words sampled with a Zipf-like
+// distribution. Kept as text for auditability.
+const backgroundText = `
+analysis results method methods approach data experiment experiments study
+studies observed observation significant significance measure measured
+measurement model models system systems process function functions role
+effect effects level levels condition conditions control controls sample
+samples figure table previous recent novel known unknown important
+mechanism mechanisms pathway pathways interaction interactions response
+responses expression expressed increase increased decrease decreased
+change changes compared comparison similar different difference
+presence absence structure structures region regions domain domains
+sequence sequences site sites cell cells cellular tissue tissues organism
+organisms human mouse yeast bacterial viral species gene genes genome
+genomes genomic protein proteins enzyme enzymes molecule molecules
+molecular biological biochemical experimentally vitro vivo assay assays
+activity activities concentration temperature reaction reactions product
+products substrate substrates target targets factor factors complex
+complexes subunit subunits residue residues mutation mutations mutant
+mutants wild type strain strains plasmid vector clone cloned cloning
+fragment fragments band bands gel electrophoresis blot hybridization
+antibody antibodies staining microscopy fluorescence luminescence
+treatment treated untreated incubation buffer solution purified
+purification isolated isolation characterized characterization identified
+identification detected detection determined determination described
+demonstrated demonstrate suggest suggests suggesting indicate indicates
+indicating reveal reveals revealing show shows shown found finding findings
+report reported propose proposed hypothesis conclusion conclusions
+discussion introduction materials statistical analysis variance correlation
+distribution frequency frequencies ratio ratios percent percentage
+approximately respectively furthermore moreover however therefore although
+whereas during following according consistent inconsistent relative
+absolute specific nonspecific primary secondary tertiary initial final
+`
+
+var backgroundVocab = func() []string {
+	words := strings.Fields(backgroundText)
+	// Deduplicate while preserving order so Zipf ranks are stable.
+	seen := make(map[string]bool, len(words))
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}()
+
+// firstNames and lastNames feed the synthetic author generator.
+var firstNames = []string{
+	"james", "mary", "wei", "yuki", "anna", "omar", "lena", "ivan", "noor",
+	"sofia", "raj", "mei", "carlos", "ingrid", "tomas", "fatima", "george",
+	"helen", "dmitri", "aisha", "pierre", "marta", "kenji", "lucia", "sven",
+	"priya", "diego", "eva", "hassan", "nina", "paolo", "zoe",
+}
+
+var lastNames = []string{
+	"smith", "chen", "tanaka", "garcia", "mueller", "ivanov", "patel",
+	"kim", "rossi", "dubois", "nakamura", "silva", "kowalski", "ahmed",
+	"johnson", "lee", "wang", "hernandez", "schmidt", "petrov", "gupta",
+	"park", "ricci", "laurent", "sato", "costa", "nowak", "hussein",
+	"brown", "liu", "yamamoto", "lopez", "weber", "sokolov", "mehta",
+	"choi", "moretti", "moreau", "suzuki", "almeida", "wojcik", "ali",
+}

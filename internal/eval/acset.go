@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"sort"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/vector"
+)
+
+// ACConfig configures AC(artificially constructed)-answer-set construction
+// (§2): a high-threshold keyword seed, text-based expansion toward the seed
+// centroid, and citation-based expansion along paths of length ≤ 2.
+type ACConfig struct {
+	// SeedThreshold is the cosine threshold of the initial keyword search.
+	SeedThreshold float64
+	// SeedLimit caps the initial set.
+	SeedLimit int
+	// TextThreshold admits papers whose similarity to the seed centroid
+	// reaches it.
+	TextThreshold float64
+	// CitationDepth caps citation-path length (the paper uses 2: longer
+	// paths lose context).
+	CitationDepth int
+	// CitationScoreQuantile keeps only citation-expansion candidates whose
+	// global PageRank is in the top (1−q) quantile, the paper's "high
+	// citation scores" filter.
+	CitationScoreQuantile float64
+}
+
+// DefaultACConfig returns the experiments' configuration.
+func DefaultACConfig() ACConfig {
+	return ACConfig{
+		SeedThreshold:         0.30,
+		SeedLimit:             40,
+		TextThreshold:         0.22,
+		CitationDepth:         2,
+		CitationScoreQuantile: 0.5,
+	}
+}
+
+// ACBuilder constructs AC-answer sets. It precomputes the corpus-wide
+// PageRank once (the citation-expansion filter).
+type ACBuilder struct {
+	ix       *index.Index
+	graph    *citegraph.Graph
+	pagerank []float64
+	prCutoff float64
+	cfg      ACConfig
+}
+
+// NewACBuilder prepares a builder over an index.
+func NewACBuilder(ix *index.Index, graph *citegraph.Graph, cfg ACConfig) *ACBuilder {
+	pr := citegraph.PageRank(graph, citegraph.PageRankOpts{})
+	sorted := append([]float64(nil), pr...)
+	sort.Float64s(sorted)
+	cutoff := 0.0
+	if len(sorted) > 0 {
+		q := cfg.CitationScoreQuantile
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(q * float64(len(sorted)-1))
+		cutoff = sorted[idx]
+	}
+	return &ACBuilder{ix: ix, graph: graph, pagerank: pr, prCutoff: cutoff, cfg: cfg}
+}
+
+// Build constructs the AC-answer set of a query.
+func (b *ACBuilder) Build(query string) map[corpus.PaperID]bool {
+	seedHits := b.ix.Search(query, index.Options{Threshold: b.cfg.SeedThreshold, Limit: b.cfg.SeedLimit})
+	answer := make(map[corpus.PaperID]bool, len(seedHits)*3)
+	if len(seedHits) == 0 {
+		return answer
+	}
+	seed := make([]corpus.PaperID, len(seedHits))
+	for i, h := range seedHits {
+		seed[i] = h.Doc
+		answer[h.Doc] = true
+	}
+
+	// Text-based expansion: centroid of the seed's TF-IDF vectors.
+	a := b.ix.Analyzer()
+	vecs := make([]vector.Sparse, len(seed))
+	for i, id := range seed {
+		vecs[i] = a.TFIDFAll(id)
+	}
+	centroid := vector.Centroid(vecs)
+	for _, h := range b.ix.SearchVector(centroid, index.Options{Threshold: b.cfg.TextThreshold}) {
+		answer[h.Doc] = true
+	}
+
+	// Citation-based expansion: papers within citation-path distance ≤
+	// CitationDepth of the seed (following both directions), filtered to
+	// high global PageRank.
+	frontier := seed
+	visited := make(map[corpus.PaperID]bool, len(seed))
+	for _, id := range seed {
+		visited[id] = true
+	}
+	for depth := 0; depth < b.cfg.CitationDepth; depth++ {
+		var next []corpus.PaperID
+		for _, id := range frontier {
+			for _, nb := range b.graph.Out(int(id)) {
+				if !visited[corpus.PaperID(nb)] {
+					visited[corpus.PaperID(nb)] = true
+					next = append(next, corpus.PaperID(nb))
+				}
+			}
+			for _, nb := range b.graph.In(int(id)) {
+				if !visited[corpus.PaperID(nb)] {
+					visited[corpus.PaperID(nb)] = true
+					next = append(next, corpus.PaperID(nb))
+				}
+			}
+		}
+		for _, id := range next {
+			if b.pagerank[id] >= b.prCutoff {
+				answer[id] = true
+			}
+		}
+		frontier = next
+	}
+	return answer
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/search"
+)
+
+// PRF bundles precision, recall and F1 of one result list against one
+// answer set.
+type PRF struct {
+	Precision, Recall, F1 float64
+	// Retrieved and Relevant are the list sizes the metrics came from.
+	Retrieved, Relevant int
+}
+
+// PrecisionRecallAtK scores the first k results (all when k ≤ 0) against
+// the answer set. The paper evaluates with precision only (§2 argues high
+// recall matters less than high-ranking precision for large libraries);
+// recall and F1 are provided for completeness.
+func PrecisionRecallAtK(results []corpus.PaperID, answer map[corpus.PaperID]bool, k int) PRF {
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	out := PRF{Retrieved: len(results), Relevant: len(answer)}
+	if len(results) == 0 || len(answer) == 0 {
+		return out
+	}
+	hit := 0
+	for _, id := range results {
+		if answer[id] {
+			hit++
+		}
+	}
+	out.Precision = float64(hit) / float64(len(results))
+	out.Recall = float64(hit) / float64(len(answer))
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// AveragePrecision computes AP: the mean of precision@i over the ranks i
+// holding relevant documents, normalised by the number of relevant
+// documents. MAP over queries is the standard literature-retrieval summary.
+func AveragePrecision(results []corpus.PaperID, answer map[corpus.PaperID]bool) float64 {
+	if len(answer) == 0 {
+		return 0
+	}
+	hit := 0
+	var sum float64
+	for i, id := range results {
+		if answer[id] {
+			hit++
+			sum += float64(hit) / float64(i+1)
+		}
+	}
+	return sum / float64(len(answer))
+}
+
+// MeanAveragePrecision averages AP over queries; resultLists[i] answers
+// queries[i].
+func MeanAveragePrecision(resultLists [][]corpus.PaperID, answers []map[corpus.PaperID]bool) float64 {
+	if len(resultLists) == 0 || len(resultLists) != len(answers) {
+		return 0
+	}
+	var sum float64
+	for i := range resultLists {
+		sum += AveragePrecision(resultLists[i], answers[i])
+	}
+	return sum / float64(len(resultLists))
+}
+
+// WriteTRECRun writes results in the classic TREC run format
+// (qid Q0 docno rank score runtag), so external IR evaluation tooling
+// (trec_eval) can score this system directly.
+func WriteTRECRun(w io.Writer, queryID string, results []search.Result, runTag string) error {
+	for rank, r := range results {
+		if _, err := fmt.Fprintf(w, "%s Q0 %d %d %.6f %s\n", queryID, r.Doc, rank+1, r.Relevancy, runTag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTRECQrels writes relevance judgments in TREC qrels format
+// (qid 0 docno rel), the companion input for trec_eval.
+func WriteTRECQrels(w io.Writer, queryID string, answer map[corpus.PaperID]bool) error {
+	ids := make([]corpus.PaperID, 0, len(answer))
+	for id := range answer {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w, "%s 0 %d 1\n", queryID, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NDCGAtK computes the normalised discounted cumulative gain of the first
+// k results under binary relevance: DCG = Σ rel_i/log2(i+1), normalised by
+// the ideal DCG of min(k, |answer|) relevant documents up front.
+func NDCGAtK(results []corpus.PaperID, answer map[corpus.PaperID]bool, k int) float64 {
+	if k <= 0 || len(answer) == 0 {
+		return 0
+	}
+	if len(results) > k {
+		results = results[:k]
+	}
+	var dcg float64
+	for i, id := range results {
+		if answer[id] {
+			dcg += 1 / log2(float64(i+2))
+		}
+	}
+	ideal := len(answer)
+	if ideal > k {
+		ideal = k
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / log2(float64(i+2))
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

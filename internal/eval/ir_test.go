@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/search"
+)
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	answer := map[corpus.PaperID]bool{1: true, 2: true, 3: true, 4: true}
+	results := []corpus.PaperID{1, 9, 2, 8}
+	prf := PrecisionRecallAtK(results, answer, 0)
+	if prf.Precision != 0.5 || prf.Recall != 0.5 {
+		t.Fatalf("prf = %+v", prf)
+	}
+	if math.Abs(prf.F1-0.5) > 1e-12 {
+		t.Fatalf("F1 = %v", prf.F1)
+	}
+	// @2: one hit of two retrieved; recall 1/4.
+	prf = PrecisionRecallAtK(results, answer, 2)
+	if prf.Precision != 0.5 || prf.Recall != 0.25 {
+		t.Fatalf("prf@2 = %+v", prf)
+	}
+	// Degenerate inputs.
+	if prf := PrecisionRecallAtK(nil, answer, 5); prf.Precision != 0 || prf.F1 != 0 {
+		t.Fatalf("empty results prf = %+v", prf)
+	}
+	if prf := PrecisionRecallAtK(results, nil, 5); prf.Recall != 0 {
+		t.Fatalf("empty answers prf = %+v", prf)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	answer := map[corpus.PaperID]bool{1: true, 2: true}
+	// Hits at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+	got := AveragePrecision([]corpus.PaperID{1, 9, 2}, answer)
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v", got)
+	}
+	// Perfect ranking: AP = 1.
+	if got := AveragePrecision([]corpus.PaperID{1, 2}, answer); got != 1 {
+		t.Fatalf("perfect AP = %v", got)
+	}
+	if got := AveragePrecision(nil, answer); got != 0 {
+		t.Fatalf("empty AP = %v", got)
+	}
+	if got := AveragePrecision([]corpus.PaperID{1}, nil); got != 0 {
+		t.Fatalf("no answers AP = %v", got)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	answers := []map[corpus.PaperID]bool{{1: true}, {2: true}}
+	lists := [][]corpus.PaperID{{1}, {9, 2}}
+	// AP1 = 1, AP2 = 1/2 → MAP = 0.75.
+	if got := MeanAveragePrecision(lists, answers); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("MAP = %v", got)
+	}
+	if got := MeanAveragePrecision(nil, nil); got != 0 {
+		t.Fatalf("empty MAP = %v", got)
+	}
+	if got := MeanAveragePrecision(lists, answers[:1]); got != 0 {
+		t.Fatalf("mismatched MAP = %v", got)
+	}
+}
+
+func TestWriteTRECRun(t *testing.T) {
+	results := []search.Result{
+		{Doc: 42, Relevancy: 0.9},
+		{Doc: 7, Relevancy: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteTRECRun(&buf, "q01", results, "ctxsearch"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "q01 Q0 42 1 0.900000 ctxsearch" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "q01 Q0 7 2 ") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestWriteTRECQrels(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTRECQrels(&buf, "q01", map[corpus.PaperID]bool{5: true, 2: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := "q01 0 2 1\nq01 0 5 1\n"
+	if buf.String() != want {
+		t.Fatalf("qrels = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNDCGAtK(t *testing.T) {
+	answer := map[corpus.PaperID]bool{1: true, 2: true}
+	// Perfect ranking: NDCG = 1.
+	if got := NDCGAtK([]corpus.PaperID{1, 2, 9}, answer, 3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %v", got)
+	}
+	// Relevant at ranks 2,3 instead of 1,2.
+	got := NDCGAtK([]corpus.PaperID{9, 1, 2}, answer, 3)
+	want := (1/math.Log2(3) + 1/math.Log2(4)) / (1/math.Log2(2) + 1/math.Log2(3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NDCG = %v, want %v", got, want)
+	}
+	if got := NDCGAtK(nil, answer, 5); got != 0 {
+		t.Fatalf("empty NDCG = %v", got)
+	}
+	if got := NDCGAtK([]corpus.PaperID{1}, nil, 5); got != 0 {
+		t.Fatalf("no-answer NDCG = %v", got)
+	}
+	if got := NDCGAtK([]corpus.PaperID{1}, answer, 0); got != 0 {
+		t.Fatalf("k=0 NDCG = %v", got)
+	}
+	// NDCG never exceeds 1.
+	if got := NDCGAtK([]corpus.PaperID{1, 2}, answer, 10); got > 1+1e-12 {
+		t.Fatalf("NDCG > 1: %v", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package eval implements the paper's evaluation machinery: the ~120
+// external search terms (synthesised here as alias phrases of ontology term
+// names, playing the role of TIGR role names manually mapped to GO terms),
+// the AC(artificially constructed)-answer sets of §2, and the three metrics
+// — precision vs relevancy threshold, top-k% overlapping ratio per context
+// level, and separability standard deviations.
+package eval
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// Query is one evaluation search term with its ground-truth target.
+type Query struct {
+	// Text is the query as a user would type it — a non-GO phrasing of the
+	// target concept.
+	Text string
+	// Target is the ontology term the phrase was generated from (the
+	// synthetic counterpart of the manual TIGR→GO mapping).
+	Target ontology.TermID
+}
+
+// synonyms maps term-name vocabulary to external phrasings, mirroring how
+// TIGR role names paraphrase GO concepts. Replacements keep part of the
+// original vocabulary so automatic context selection stays plausible.
+var synonyms = map[string][]string{
+	"regulation":    {"control", "modulation"},
+	"activity":      {"function", "action"},
+	"binding":       {"interaction", "attachment"},
+	"transport":     {"trafficking", "movement"},
+	"biosynthesis":  {"synthesis", "production"},
+	"catabolism":    {"breakdown", "degradation"},
+	"assembly":      {"formation", "construction"},
+	"repair":        {"restoration", "correction"},
+	"replication":   {"duplication", "copying"},
+	"transcription": {"rna synthesis", "gene expression"},
+	"translation":   {"protein synthesis"},
+	"folding":       {"conformation"},
+	"localization":  {"targeting", "positioning"},
+	"secretion":     {"export", "release"},
+	"signaling":     {"signal transduction"},
+	"elongation":    {"extension"},
+	"initiation":    {"start", "onset"},
+	"splicing":      {"processing"},
+	"degradation":   {"turnover", "decay"},
+	"maturation":    {"processing"},
+	"remodeling":    {"reorganization"},
+	"positive":      {"enhanced", "stimulatory"},
+	"negative":      {"reduced", "inhibitory"},
+	"nuclear":       {"nucleus"},
+	"cytoplasmic":   {"cytosolic"},
+	"mitochondrial": {"mitochondria"},
+	"general":       {"basal", "broad"},
+	"specific":      {"selective"},
+	"membrane":      {"lipid bilayer"},
+	"protein":       {"polypeptide"},
+	"early":         {"initial"},
+	"late":          {"terminal"},
+}
+
+// QueryGenConfig configures alias-query generation.
+type QueryGenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumQueries is how many queries to generate (the paper used ~120).
+	NumQueries int
+	// MinLevel restricts target terms to at least this level so queries
+	// are not trivially general (default 3).
+	MinLevel int
+	// ReplaceProb is the per-word probability of synonym substitution.
+	ReplaceProb float64
+	// RequireEvidence restricts targets to terms with annotation evidence
+	// papers, so every query has a non-degenerate answer.
+	RequireEvidence bool
+}
+
+// DefaultQueryGenConfig returns the experiments' configuration.
+func DefaultQueryGenConfig() QueryGenConfig {
+	return QueryGenConfig{Seed: 99, NumQueries: 120, MinLevel: 3, ReplaceProb: 0.4, RequireEvidence: true}
+}
+
+// GenerateQueries produces alias-phrase queries over the ontology's terms.
+// Each query's text paraphrases its target's name: some words replaced with
+// external synonyms, occasional modifier dropped. Deterministic in cfg.Seed.
+func GenerateQueries(onto *ontology.Ontology, c *corpus.Corpus, cfg QueryGenConfig) []Query {
+	if cfg.NumQueries <= 0 {
+		return nil
+	}
+	if cfg.MinLevel <= 0 {
+		cfg.MinLevel = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var candidates []ontology.TermID
+	for _, id := range onto.TermIDs() {
+		if onto.Level(id) < cfg.MinLevel {
+			continue
+		}
+		if cfg.RequireEvidence && len(c.EvidencePapers(id)) == 0 {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	if len(candidates) == 0 {
+		return nil
+	}
+	var out []Query
+	seen := map[string]bool{}
+	for attempts := 0; len(out) < cfg.NumQueries && attempts < cfg.NumQueries*10; attempts++ {
+		target := candidates[rng.Intn(len(candidates))]
+		text := aliasPhrase(rng, onto.Term(target).Name, cfg.ReplaceProb)
+		key := string(target) + "|" + text
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Query{Text: text, Target: target})
+	}
+	return out
+}
+
+// aliasPhrase paraphrases a term name: words are replaced with synonyms
+// with probability replaceProb, and with small probability a leading
+// modifier is dropped.
+func aliasPhrase(rng *rand.Rand, name string, replaceProb float64) string {
+	words := strings.Fields(strings.ToLower(name))
+	if len(words) > 2 && rng.Float64() < 0.25 {
+		words = words[1:] // drop a leading modifier
+	}
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if alts, ok := synonyms[w]; ok && rng.Float64() < replaceProb {
+			out = append(out, alts[rng.Intn(len(alts))])
+			continue
+		}
+		out = append(out, w)
+	}
+	return strings.Join(out, " ")
+}
+
+// TrueAnswerSet returns the ground-truth relevant papers of a query: papers
+// whose generating topics include the target term or any of its
+// descendants. Real corpora lack these labels; the synthetic corpus provides
+// them, and the harness uses them to validate the AC-answer construction.
+func TrueAnswerSet(onto *ontology.Ontology, c *corpus.Corpus, target ontology.TermID) map[corpus.PaperID]bool {
+	relevant := map[ontology.TermID]bool{target: true}
+	for _, d := range onto.Descendants(target) {
+		relevant[d] = true
+	}
+	out := make(map[corpus.PaperID]bool)
+	for _, p := range c.Papers() {
+		for _, tp := range p.Topics {
+			if relevant[tp] {
+				out[p.ID] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"sort"
+
+	"ctxsearch"
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/eval"
+	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/stats"
+)
+
+// TeleportAblation compares the paper's two PageRank teleport options E1
+// and E2 (§3.1) on the pattern-based context set.
+type TeleportAblation struct {
+	// MeanSpearman is the mean per-context Spearman rank correlation
+	// between E1 and E2 scores.
+	MeanSpearman float64
+	// MeanSDDiff is mean(separability SD under E1 − SD under E2).
+	MeanSDDiff float64
+	// Contexts evaluated.
+	Contexts int
+}
+
+// AblateTeleport runs the E1-vs-E2 ablation.
+func (s *Setup) AblateTeleport() TeleportAblation {
+	mk := func(tp citegraph.Teleport) ctxsearch.Scores {
+		opts := s.Sys.Config().PageRank
+		opts.Teleport = tp
+		scorer := prestige.NewCitationScorer(s.Sys.Corpus, opts)
+		return prestige.ScoreAll(scorer, s.PatternSet, s.Sys.MinContextSize())
+	}
+	e1 := mk(citegraph.TeleportE1)
+	e2 := mk(citegraph.TeleportE2)
+	cfg := eval.DefaultSeparabilityConfig()
+	var out TeleportAblation
+	var sumRho, sumSD float64
+	for _, ctx := range e1.Contexts() {
+		m2, ok := e2[ctx]
+		if !ok {
+			continue
+		}
+		m1 := e1[ctx]
+		var xs, ys []float64
+		ids := make([]ctxsearch.PaperID, 0, len(m1))
+		for id := range m1 {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			xs = append(xs, m1[id])
+			ys = append(ys, m2[id])
+		}
+		if len(xs) < 3 {
+			continue
+		}
+		sumRho += stats.Spearman(xs, ys)
+		sumSD += stats.SeparabilitySD(xs, cfg.ScoreBins) - stats.SeparabilitySD(ys, cfg.ScoreBins)
+		out.Contexts++
+	}
+	if out.Contexts > 0 {
+		out.MeanSpearman = sumRho / float64(out.Contexts)
+		out.MeanSDDiff = sumSD / float64(out.Contexts)
+	}
+	return out
+}
+
+// HITSAblation checks the claim (via [11]) that HITS authority and PageRank
+// scores are highly correlated on citation graphs.
+type HITSAblation struct {
+	// GlobalSpearman correlates the two over the whole corpus graph.
+	GlobalSpearman float64
+	// MeanContextSpearman averages per-context correlations (contexts above
+	// the size cutoff, induced subgraphs).
+	MeanContextSpearman float64
+	Contexts            int
+}
+
+// AblateHITS runs the HITS-vs-PageRank correlation ablation.
+func (s *Setup) AblateHITS() HITSAblation {
+	g := prestige.GraphFromCorpus(s.Sys.Corpus)
+	pr := citegraph.PageRank(g, s.Sys.Config().PageRank)
+	auth, _ := citegraph.HITS(g, 0, 0)
+	var out HITSAblation
+	out.GlobalSpearman = stats.Spearman(pr, auth)
+
+	var sum float64
+	for _, ctx := range s.PatternSet.ContextsWithMinSize(s.Sys.MinContextSize()) {
+		papers := s.PatternSet.Papers(ctx)
+		nodes := make([]int, len(papers))
+		for i, p := range papers {
+			nodes[i] = int(p)
+		}
+		sub, _ := g.Subgraph(nodes)
+		if sub.Len() < 3 || sub.Edges() == 0 {
+			continue
+		}
+		spr := citegraph.PageRank(sub, s.Sys.Config().PageRank)
+		sauth, _ := citegraph.HITS(sub, 0, 0)
+		sum += stats.Spearman(spr, sauth)
+		out.Contexts++
+	}
+	if out.Contexts > 0 {
+		out.MeanContextSpearman = sum / float64(out.Contexts)
+	}
+	return out
+}
+
+// CutoffAblation sweeps the small-context exclusion rule the paper applies
+// (contexts ≤ 100 papers dropped): how the number of scored contexts and
+// the citation function's mean separability SD respond to the cutoff.
+type CutoffAblation struct {
+	Cutoffs  []int
+	Contexts []int
+	// MeanCitSD is the citation function's mean separability SD over the
+	// surviving contexts (small contexts produce degenerate PageRank score
+	// sets, which is why the paper excludes them).
+	MeanCitSD []float64
+}
+
+// AblateCutoff sweeps MinContextSize over the pattern-based set.
+func (s *Setup) AblateCutoff(cutoffs []int) CutoffAblation {
+	cfg := eval.DefaultSeparabilityConfig()
+	out := CutoffAblation{Cutoffs: cutoffs}
+	for _, cut := range cutoffs {
+		ctxs := s.PatternSet.ContextsWithMinSize(cut)
+		// Restrict the precomputed citation scores to surviving contexts.
+		var sds []float64
+		n := 0
+		for _, ctx := range ctxs {
+			if m, ok := s.CitOnPatSet[ctx]; ok && len(m) > 0 {
+				vals := make([]float64, 0, len(m))
+				for _, v := range m {
+					vals = append(vals, v)
+				}
+				sds = append(sds, stats.SeparabilitySD(vals, cfg.ScoreBins))
+				n++
+			}
+		}
+		out.Contexts = append(out.Contexts, n)
+		out.MeanCitSD = append(out.MeanCitSD, mean(sds))
+	}
+	return out
+}
+
+// CrossContextAblation measures the §7 future-work extension: weighting
+// cross-context citations instead of omitting them.
+type CrossContextAblation struct {
+	// MeanScoreShift is the mean absolute per-paper score change the
+	// extension introduces.
+	MeanScoreShift float64
+	// MeanSDBase and MeanSDExt compare separability with and without it.
+	MeanSDBase, MeanSDExt float64
+	Contexts              int
+}
+
+// AblateCrossContext runs the extension with Related=0.6/Unrelated=0.1.
+func (s *Setup) AblateCrossContext() CrossContextAblation {
+	base := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
+	ext := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
+	ext.CrossContextWeight = prestige.CrossContextWeights{Enabled: true, Related: 0.6, Unrelated: 0.1}
+	cfg := eval.DefaultSeparabilityConfig()
+	var out CrossContextAblation
+	var shift, sdB, sdE float64
+	n := 0
+	for _, ctx := range s.PatternSet.ContextsWithMinSize(s.Sys.MinContextSize()) {
+		mb := base.ScoreContext(s.PatternSet, ctx)
+		me := ext.ScoreContext(s.PatternSet, ctx)
+		var vb, ve []float64
+		var d float64
+		for id, b := range mb {
+			e := me[id]
+			if diff := e - b; diff >= 0 {
+				d += diff
+			} else {
+				d -= diff
+			}
+			vb = append(vb, b)
+			ve = append(ve, e)
+		}
+		if len(vb) == 0 {
+			continue
+		}
+		shift += d / float64(len(vb))
+		sdB += stats.SeparabilitySD(vb, cfg.ScoreBins)
+		sdE += stats.SeparabilitySD(ve, cfg.ScoreBins)
+		n++
+	}
+	if n > 0 {
+		out.MeanScoreShift = shift / float64(n)
+		out.MeanSDBase = sdB / float64(n)
+		out.MeanSDExt = sdE / float64(n)
+		out.Contexts = n
+	}
+	return out
+}
+
+// SparsenessByLevel supports the paper's §5 explanation: per-context
+// citation-graph sparseness grows as contexts get deeper/smaller. Two
+// diagnostics per level: the mean edge sparseness of the induced graph and
+// the mean fraction of papers with no in-context citation edge at all
+// (which is what actually starves PageRank).
+type SparsenessRow struct {
+	EdgeSparseness, IsolationFraction float64
+}
+
+// SparsenessByLevel computes both diagnostics per context level.
+func (s *Setup) SparsenessByLevel() map[int]SparsenessRow {
+	scorer := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
+	type acc struct {
+		sp, iso float64
+		n       int
+	}
+	sums := map[int]*acc{}
+	for _, ctx := range s.PatternSet.ContextsWithMinSize(s.Sys.MinContextSize()) {
+		l := s.Sys.Ontology.Level(ctx)
+		a := sums[l]
+		if a == nil {
+			a = &acc{}
+			sums[l] = a
+		}
+		a.sp += scorer.ContextSparseness(s.PatternSet, ctx)
+		a.iso += scorer.IsolationFraction(s.PatternSet, ctx)
+		a.n++
+	}
+	out := map[int]SparsenessRow{}
+	for l, a := range sums {
+		out[l] = SparsenessRow{
+			EdgeSparseness:    a.sp / float64(a.n),
+			IsolationFraction: a.iso / float64(a.n),
+		}
+	}
+	return out
+}

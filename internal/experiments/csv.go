@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrecisionCSV exports a precision figure as CSV with columns
+// function,threshold,avg,median,empty.
+func WritePrecisionCSV(w io.Writer, fig PrecisionFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"function", "threshold", "avg_precision", "median_precision", "empty_queries"}); err != nil {
+		return err
+	}
+	for _, series := range fig.Series {
+		for _, pt := range series.Points {
+			rec := []string{
+				series.Function,
+				f64(pt.Threshold), f64(pt.Avg), f64(pt.Median),
+				strconv.Itoa(pt.Empty),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOverlapCSV exports Figure 5.3 as CSV with columns
+// pair,level,k_percent,overlap.
+func WriteOverlapCSV(w io.Writer, fig OverlapFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair", "level", "k_percent", "overlap"}); err != nil {
+		return err
+	}
+	for _, pair := range sortedKeys(fig.Pairs) {
+		byLevel := fig.Pairs[pair]
+		levels := make([]int, 0, len(byLevel))
+		for l := range byLevel {
+			levels = append(levels, l)
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			for ki, v := range byLevel[l] {
+				rec := []string{pair, strconv.Itoa(l), f64(100 * KPercents[ki]), f64(v)}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeparabilityCSV exports a separability figure as CSV with columns
+// series,sd_bin_low,percent_contexts.
+func WriteSeparabilityCSV(w io.Writer, fig SeparabilityFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "sd_bin_low", "percent_contexts"}); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(fig.Series) {
+		for i, v := range fig.Series[name] {
+			rec := []string{name, f64(fig.BinEdges[i]), f64(v)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// RenderGoPubMed writes the related-work comparison.
+func RenderGoPubMed(w io.Writer, r GoPubMedComparison) {
+	fmt.Fprintf(w, "== Related work (§6): GoPubMed-style categorisation vs context paper sets ==\n")
+	fmt.Fprintf(w, "%-22s %10s %10s %12s %10s\n", "method", "coverage", "contexts", "precision", "recall")
+	fmt.Fprintf(w, "%-22s %9.1f%% %10d %12.3f %10.3f\n", "gopubmed (abstracts)", 100*r.Coverage, r.Contexts, r.GoPubMedPrecision, r.GoPubMedRecall)
+	fmt.Fprintf(w, "%-22s %9.1f%% %10d %12.3f %10.3f\n", "text-based set", 100*r.TextSetCoverage, r.TextSetContexts, r.TextSetPrecision, r.TextSetRecall)
+	fmt.Fprintf(w, "%-22s %9.1f%% %10d %12s %10s\n", "pattern-based set", 100*r.PatternSetCoverage, r.PatternSetContexts, "-", "-")
+	fmt.Fprintf(w, "(paper: GoPubMed covers only 78%% of PubMed abstracts and assigns no scores)\n\n")
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWritePrecisionCSV(t *testing.T) {
+	s := testSetup(t)
+	fig := s.Fig51()
+	var buf bytes.Buffer
+	if err := WritePrecisionCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 functions × len(thresholds) rows.
+	want := 1 + 2*len(PrecisionThresholds)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if strings.Join(rows[0], ",") != "function,threshold,avg_precision,median_precision,empty_queries" {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
+
+func TestWriteOverlapCSV(t *testing.T) {
+	s := testSetup(t)
+	var buf bytes.Buffer
+	if err := WriteOverlapCSV(&buf, s.Fig53()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 pairs × 3 levels × 4 k-values.
+	if len(rows) != 1+3*3*4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestWriteSeparabilityCSV(t *testing.T) {
+	s := testSetup(t)
+	var buf bytes.Buffer
+	if err := WriteSeparabilityCSV(&buf, s.Fig55()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 3 levels × 8 bins.
+	if len(rows) != 1+3*8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestGoPubMedComparison(t *testing.T) {
+	s := testSetup(t)
+	r := s.GoPubMedVsContextSets()
+	for name, v := range map[string]float64{
+		"coverage":     r.Coverage,
+		"text cover":   r.TextSetCoverage,
+		"pat cover":    r.PatternSetCoverage,
+		"gp precision": r.GoPubMedPrecision,
+		"gp recall":    r.GoPubMedRecall,
+		"ts precision": r.TextSetPrecision,
+		"ts recall":    r.TextSetRecall,
+	} {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v out of range", name, v)
+		}
+	}
+	if r.Contexts == 0 {
+		t.Fatal("GoPubMed-style matching found no contexts at all")
+	}
+	// GoPubMed's abstract-only full-phrase matching must cover less of the
+	// corpus than the text-based context set.
+	if r.Coverage > r.TextSetCoverage {
+		t.Fatalf("GoPubMed coverage %.2f exceeds text set %.2f", r.Coverage, r.TextSetCoverage)
+	}
+	var buf bytes.Buffer
+	RenderGoPubMed(&buf, r)
+	if !strings.Contains(buf.String(), "gopubmed") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestTRECExport(t *testing.T) {
+	s := testSetup(t)
+	files := map[string]*bytes.Buffer{}
+	err := s.TRECExport(func(name string) (io.WriteCloser, error) {
+		buf := &bytes.Buffer{}
+		files[name] = buf
+		return nopCloser{buf}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run_text_on_textset.txt", "run_citation_on_textset.txt",
+		"run_pattern_on_patternset.txt", "run_citation_on_patternset.txt", "qrels.txt"} {
+		buf, ok := files[want]
+		if !ok {
+			t.Fatalf("missing %s", want)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s is empty", want)
+		}
+	}
+	// Run lines have the 6-field TREC shape.
+	line := strings.SplitN(files["run_text_on_textset.txt"].String(), "\n", 2)[0]
+	if fields := strings.Fields(line); len(fields) != 6 || fields[1] != "Q0" {
+		t.Fatalf("bad run line %q", line)
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestScalingSweepSmall(t *testing.T) {
+	rows, err := ScalingSweep([]int{150}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Papers != 150 || r.Terms < 30 {
+		t.Fatalf("row = %+v", r)
+	}
+	if r.SepText <= 0 || r.SepPattern <= 0 || r.SepCitation <= 0 {
+		t.Fatalf("separability SDs missing: %+v", r)
+	}
+	var buf bytes.Buffer
+	RenderScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "Scaling sweep") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestClusteringVsContexts(t *testing.T) {
+	s := testSetup(t)
+	r := s.ClusteringVsContexts()
+	if r.Queries == 0 {
+		t.Skip("no queries had enough results to cluster")
+	}
+	if r.MeanClusterPurity <= 0 || r.MeanClusterPurity > 1 {
+		t.Fatalf("cluster purity = %v", r.MeanClusterPurity)
+	}
+	if r.MeanContextPurity <= 0 || r.MeanContextPurity > 1 {
+		t.Fatalf("context purity = %v", r.MeanContextPurity)
+	}
+	var buf bytes.Buffer
+	RenderClustering(&buf, r)
+	if !strings.Contains(buf.String(), "k-means purity") {
+		t.Fatal("render incomplete")
+	}
+}

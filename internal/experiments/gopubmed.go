@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"ctxsearch"
+	"ctxsearch/internal/contextset"
+)
+
+// GoPubMedComparison measures the §6 related-work system against this
+// paper's context paper sets: GoPubMed categorises a paper under a GO term
+// only when the term's words appear in the paper's abstract, covers a
+// limited fraction of the corpus (the paper reports 78% of PubMed), and
+// assigns no prestige scores.
+type GoPubMedComparison struct {
+	// Coverage is the fraction of papers GoPubMed-style matching places in
+	// at least one context (paper: 78% for real PubMed).
+	Coverage float64
+	// TextSetCoverage / PatternSetCoverage are the same measure for this
+	// paper's context sets.
+	TextSetCoverage, PatternSetCoverage float64
+	// Contexts counts non-empty contexts per method.
+	Contexts, TextSetContexts, PatternSetContexts int
+	// AssignmentPrecision and AssignmentRecall measure, against generator
+	// ground truth (paper ∈ context iff its topic is the term or a
+	// descendant), how well each method assigns papers. GoPubMed first.
+	GoPubMedPrecision, GoPubMedRecall float64
+	TextSetPrecision, TextSetRecall   float64
+}
+
+// GoPubMedVsContextSets runs the comparison.
+func (s *Setup) GoPubMedVsContextSets() GoPubMedComparison {
+	gp := contextset.BuildGoPubMedStyle(s.Sys.Analyzer(), s.Sys.Ontology, 1.0)
+	c := s.Sys.Corpus
+	out := GoPubMedComparison{
+		Coverage:           contextset.AbstractCoverage(gp, c),
+		TextSetCoverage:    contextset.AbstractCoverage(s.TextSet, c),
+		PatternSetCoverage: contextset.AbstractCoverage(s.PatternSet, c),
+		Contexts:           len(gp.Contexts()),
+		TextSetContexts:    len(s.TextSet.Contexts()),
+		PatternSetContexts: len(s.PatternSet.Contexts()),
+	}
+	out.GoPubMedPrecision, out.GoPubMedRecall = s.assignmentQuality(gp)
+	out.TextSetPrecision, out.TextSetRecall = s.assignmentQuality(s.TextSet)
+	return out
+}
+
+// assignmentQuality compares a context set's memberships to ground truth:
+// a (term, paper) assignment is correct when the paper's generating topics
+// include the term or one of its descendants.
+func (s *Setup) assignmentQuality(cs *ctxsearch.ContextSet) (precision, recall float64) {
+	onto := s.Sys.Ontology
+	c := s.Sys.Corpus
+
+	// truth[term] = papers whose topic is term or a descendant of term.
+	inTerm := make(map[ctxsearch.TermID]map[ctxsearch.PaperID]bool)
+	for _, p := range c.Papers() {
+		for _, topic := range p.Topics {
+			if m := inTerm[topic]; m == nil {
+				inTerm[topic] = map[ctxsearch.PaperID]bool{p.ID: true}
+			} else {
+				m[p.ID] = true
+			}
+		}
+	}
+	truthFor := func(term ctxsearch.TermID) map[ctxsearch.PaperID]bool {
+		out := make(map[ctxsearch.PaperID]bool)
+		for id := range inTerm[term] {
+			out[id] = true
+		}
+		for _, d := range onto.Descendants(term) {
+			for id := range inTerm[d] {
+				out[id] = true
+			}
+		}
+		return out
+	}
+
+	var tp, assigned, truthTotal int
+	for _, ctx := range cs.Contexts() {
+		truth := truthFor(ctx)
+		truthTotal += len(truth)
+		for _, p := range cs.Papers(ctx) {
+			assigned++
+			if truth[p] {
+				tp++
+			}
+		}
+	}
+	if assigned > 0 {
+		precision = float64(tp) / float64(assigned)
+	}
+	if truthTotal > 0 {
+		recall = float64(tp) / float64(truthTotal)
+	}
+	return precision, recall
+}

@@ -1,0 +1,65 @@
+package index
+
+import (
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 100, MaxDepth: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Build(corpus.NewAnalyzer(c))
+}
+
+func BenchmarkBuild(b *testing.B) {
+	o, _ := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 60, MaxDepth: 6})
+	c, _ := corpus.Generate(o, corpus.DefaultGenConfig(200))
+	a := corpus.NewAnalyzer(c)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Build(a)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := benchIndex(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Search("regulation of rna transcription factor binding", Options{Limit: 20})
+	}
+}
+
+func BenchmarkSearchQueryBoolean(b *testing.B) {
+	ix := benchIndex(b)
+	q, err := ix.ParseQuery(`(regulation OR control) AND transcription AND NOT metallurgy`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SearchQuery(q, Options{Limit: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnippet(b *testing.B) {
+	ix := benchIndex(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Snippet(corpus.PaperID(i%400), "regulation transcription binding", SnippetOptions{})
+	}
+}

@@ -1,0 +1,140 @@
+// Package index implements the inverted-index keyword search substrate.
+// Both the plain PubMed-style baseline and the per-context searches of the
+// context-based engine run on it; the AC-answer-set construction uses its
+// high-threshold mode to seed answer sets.
+package index
+
+import (
+	"sort"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/vector"
+)
+
+// posting is one document entry in a term's posting list.
+type posting struct {
+	doc    corpus.PaperID
+	weight float64 // TF-IDF weight of the term in the document
+}
+
+// Hit is one search result.
+type Hit struct {
+	Doc corpus.PaperID
+	// Score is the cosine similarity between the query and the document's
+	// full-text TF-IDF vectors, in [0,1].
+	Score float64
+}
+
+// Index is an immutable inverted index over a corpus's full-text TF-IDF
+// vectors. Construct with Build.
+type Index struct {
+	analyzer *corpus.Analyzer
+	postings map[string][]posting
+	norms    []float64
+}
+
+// Build constructs the index from an analysed corpus.
+func Build(a *corpus.Analyzer) *Index {
+	ix := &Index{
+		analyzer: a,
+		postings: make(map[string][]posting),
+		norms:    make([]float64, a.Corpus().Len()),
+	}
+	for _, p := range a.Corpus().Papers() {
+		w := a.TFIDFAll(p.ID)
+		ix.norms[p.ID] = w.Norm()
+		for term, weight := range w {
+			ix.postings[term] = append(ix.postings[term], posting{p.ID, weight})
+		}
+	}
+	for term := range ix.postings {
+		pl := ix.postings[term]
+		sort.Slice(pl, func(i, j int) bool { return pl[i].doc < pl[j].doc })
+	}
+	return ix
+}
+
+// Terms returns the number of distinct indexed terms.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// Analyzer returns the analyzer the index was built from.
+func (ix *Index) Analyzer() *corpus.Analyzer { return ix.analyzer }
+
+// Options configure a search.
+type Options struct {
+	// Threshold drops hits with cosine score below it.
+	Threshold float64
+	// Limit caps the number of hits (0 = unlimited).
+	Limit int
+	// Within restricts the search to the given document set (nil = all).
+	Within map[corpus.PaperID]bool
+}
+
+// Search runs a free-text query and returns hits sorted by descending
+// score, ties broken by ascending document ID.
+func (ix *Index) Search(query string, opts Options) []Hit {
+	qv := ix.analyzer.QueryVector(query)
+	return ix.SearchVector(qv, opts)
+}
+
+// SearchVector searches with a pre-built query vector (used by expansion
+// steps that query with document centroids).
+func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
+	qn := qv.Norm()
+	if qn == 0 {
+		return nil
+	}
+	// Accumulate in sorted term order: floating-point addition is not
+	// associative, and map-order accumulation would make scores differ in
+	// the last ulp between identical searches.
+	terms := make([]string, 0, len(qv))
+	for term := range qv {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	acc := make(map[corpus.PaperID]float64)
+	for _, term := range terms {
+		qw := qv[term]
+		for _, pst := range ix.postings[term] {
+			if opts.Within != nil && !opts.Within[pst.doc] {
+				continue
+			}
+			acc[pst.doc] += qw * pst.weight
+		}
+	}
+	hits := make([]Hit, 0, len(acc))
+	for doc, dot := range acc {
+		dn := ix.norms[doc]
+		if dn == 0 {
+			continue
+		}
+		score := dot / (qn * dn)
+		if score >= opts.Threshold && score > 0 {
+			hits = append(hits, Hit{doc, score})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if opts.Limit > 0 && len(hits) > opts.Limit {
+		hits = hits[:opts.Limit]
+	}
+	return hits
+}
+
+// MatchScore returns the cosine text-matching score between a query and one
+// document — the Text_Matching_Score(p, q) term of the paper's relevancy
+// formula.
+func (ix *Index) MatchScore(qv vector.Sparse, doc corpus.PaperID) float64 {
+	if int(doc) < 0 || int(doc) >= len(ix.norms) || ix.norms[doc] == 0 {
+		return 0
+	}
+	qn := qv.Norm()
+	if qn == 0 {
+		return 0
+	}
+	return qv.Dot(ix.analyzer.TFIDFAll(doc)) / (qn * ix.norms[doc])
+}

@@ -1,0 +1,81 @@
+package index
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnippetHighlightsMatches(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	// Paper 0's abstract: "transcription of rna by polymerase enzymes".
+	s := ix.Snippet(0, "rna polymerase", SnippetOptions{})
+	if !strings.Contains(s, "[rna]") || !strings.Contains(s, "[polymerase]") {
+		t.Fatalf("snippet missing highlights: %q", s)
+	}
+}
+
+func TestSnippetStemAware(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	// Query "enzyme" must highlight "enzymes" in paper 0's abstract.
+	s := ix.Snippet(0, "enzyme", SnippetOptions{})
+	if !strings.Contains(s, "[enzymes]") {
+		t.Fatalf("stem-aware highlight failed: %q", s)
+	}
+}
+
+func TestSnippetFallsBackToBody(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	// "spliceosome" appears only in paper 2's body.
+	s := ix.Snippet(2, "spliceosome", SnippetOptions{})
+	if !strings.Contains(s, "[spliceosome]") {
+		t.Fatalf("body fallback failed: %q", s)
+	}
+}
+
+func TestSnippetNoMatchFallsBackToAbstractHead(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	s := ix.Snippet(3, "quantum chromodynamics", SnippetOptions{Window: 3})
+	if s == "" || strings.Contains(s, "[") {
+		t.Fatalf("fallback snippet wrong: %q", s)
+	}
+}
+
+func TestSnippetWindowTruncation(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	s := ix.Snippet(0, "polymerase", SnippetOptions{Window: 3})
+	words := strings.Fields(strings.Trim(s, "… "))
+	// window words plus possible ellipses
+	if len(words) > 5 {
+		t.Fatalf("window not respected: %q", s)
+	}
+}
+
+func TestSnippetCustomMarkers(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	s := ix.Snippet(0, "rna", SnippetOptions{Pre: "<b>", Post: "</b>"})
+	if !strings.Contains(s, "<b>rna</b>") {
+		t.Fatalf("custom markers missing: %q", s)
+	}
+}
+
+func TestSnippetUnknownDoc(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	if s := ix.Snippet(99, "rna", SnippetOptions{}); s != "" {
+		t.Fatalf("unknown doc snippet = %q", s)
+	}
+}
+
+func TestNormalizeWord(t *testing.T) {
+	cases := map[string]string{
+		"(RNA)":   "rna",
+		"end.":    "end",
+		"--":      "",
+		"a,b":     "a,b", // interior punctuation is kept; only edges strip
+		"'quote'": "quote",
+	}
+	for in, want := range cases {
+		if got := normalizeWord(in); got != want {
+			t.Errorf("normalizeWord(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

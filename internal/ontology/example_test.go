@@ -1,0 +1,39 @@
+package ontology_test
+
+import (
+	"fmt"
+
+	"ctxsearch/internal/ontology"
+)
+
+func buildExample() *ontology.Ontology {
+	o := ontology.New()
+	_ = o.Add(ontology.Term{ID: "GO:1", Name: "molecular function"})
+	_ = o.Add(ontology.Term{ID: "GO:2", Name: "binding", Parents: []ontology.TermID{"GO:1"}})
+	_ = o.Add(ontology.Term{ID: "GO:3", Name: "dna binding", Parents: []ontology.TermID{"GO:2"}})
+	_ = o.Add(ontology.Term{ID: "GO:4", Name: "rna binding", Parents: []ontology.TermID{"GO:2"}})
+	_ = o.Build()
+	return o
+}
+
+func ExampleOntology_Level() {
+	o := buildExample()
+	fmt.Println(o.Level("GO:1"), o.Level("GO:2"), o.Level("GO:3"))
+	// Output: 1 2 3
+}
+
+func ExampleOntology_InformationContent() {
+	o := buildExample()
+	// Deeper terms are more informative.
+	fmt.Println(o.InformationContent("GO:3") > o.InformationContent("GO:2"))
+	fmt.Printf("%.3f\n", o.InformationContent("GO:1"))
+	// Output:
+	// true
+	// 0.000
+}
+
+func ExampleOntology_MostInformativeCommonAncestor() {
+	o := buildExample()
+	fmt.Println(o.MostInformativeCommonAncestor("GO:3", "GO:4"))
+	// Output: GO:2
+}

@@ -1,0 +1,126 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := DefaultGenConfig()
+	o, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != cfg.NumTerms {
+		t.Fatalf("Len = %d, want %d", o.Len(), cfg.NumTerms)
+	}
+	if len(o.Roots()) != 3 {
+		t.Fatalf("roots = %v", o.Roots())
+	}
+	// The experiments slice at levels 3, 5 and 7; all must be populated.
+	for _, l := range []int{3, 5, 7} {
+		if n := len(o.TermsAtLevel(l)); n == 0 {
+			t.Errorf("level %d is empty", l)
+		}
+	}
+	if o.MaxLevel() > cfg.MaxDepth {
+		t.Errorf("MaxLevel %d exceeds MaxDepth %d", o.MaxLevel(), cfg.MaxDepth)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, NumTerms: 200, MaxDepth: 8, SecondParentProb: 0.2}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for _, id := range a.TermIDs() {
+		ta, tb := a.Term(id), b.Term(id)
+		if tb == nil || ta.Name != tb.Name || len(ta.Parents) != len(tb.Parents) {
+			t.Fatalf("term %s differs between runs", id)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(GenConfig{Seed: 1, NumTerms: 100, MaxDepth: 6})
+	b, _ := Generate(GenConfig{Seed: 2, NumTerms: 100, MaxDepth: 6})
+	diff := 0
+	for _, id := range a.TermIDs() {
+		if bt := b.Term(id); bt == nil || bt.Name != a.Term(id).Name {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical ontologies")
+	}
+}
+
+func TestGenerateUniqueNames(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 7, NumTerms: 500, MaxDepth: 9, SecondParentProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]TermID{}
+	for _, id := range o.TermIDs() {
+		name := o.Term(id).Name
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("terms %s and %s share name %q", prev, id, name)
+		}
+		seen[name] = id
+		if n := len(strings.Fields(name)); n == 0 || n > 10 {
+			t.Errorf("term %s has degenerate name %q", id, name)
+		}
+	}
+}
+
+func TestGenerateSecondParentsExist(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 3, NumTerms: 400, MaxDepth: 8, SecondParentProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, id := range o.TermIDs() {
+		if len(o.Parents(id)) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-parent terms generated despite high probability")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{NumTerms: 2, MaxDepth: 5}); err == nil {
+		t.Error("NumTerms < 3 must fail")
+	}
+	if _, err := Generate(GenConfig{NumTerms: 10, MaxDepth: 1}); err == nil {
+		t.Error("MaxDepth < 2 must fail")
+	}
+}
+
+func TestGenerateNamespacesInherited(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 5, NumTerms: 150, MaxDepth: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range o.TermIDs() {
+		tm := o.Term(id)
+		if tm.Namespace == "" {
+			t.Fatalf("term %s has empty namespace", id)
+		}
+		if len(tm.Parents) > 0 {
+			p := o.Term(tm.Parents[0])
+			if p.Namespace != tm.Namespace {
+				t.Fatalf("term %s namespace %q differs from first parent's %q", id, tm.Namespace, p.Namespace)
+			}
+		}
+	}
+}

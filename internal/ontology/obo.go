@@ -1,0 +1,105 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOBO reads a minimal OBO 1.2 flat file: [Term] stanzas with id, name,
+// namespace, def and is_a tags. Unknown tags and non-Term stanzas are
+// ignored; obsolete terms (is_obsolete: true) are skipped. The returned
+// ontology is already Built.
+func ParseOBO(r io.Reader) (*Ontology, error) {
+	o := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var cur *Term
+	inTerm := false
+	obsolete := false
+	lineNo := 0
+	flush := func() error {
+		if !inTerm || cur == nil || obsolete {
+			return nil
+		}
+		if err := o.Add(*cur); err != nil {
+			return err
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "["):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inTerm = line == "[Term]"
+			cur = &Term{}
+			obsolete = false
+		case !inTerm:
+			continue
+		default:
+			tag, val, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("obo: line %d: missing ':' in %q", lineNo, line)
+			}
+			val = strings.TrimSpace(val)
+			// Strip trailing OBO comments ("GO:0001 ! some name").
+			if i := strings.Index(val, " ! "); i >= 0 {
+				val = strings.TrimSpace(val[:i])
+			}
+			switch tag {
+			case "id":
+				cur.ID = TermID(val)
+			case "name":
+				cur.Name = val
+			case "namespace":
+				cur.Namespace = val
+			case "def":
+				cur.Def = strings.Trim(val, `"`)
+			case "is_a":
+				cur.Parents = append(cur.Parents, TermID(val))
+			case "is_obsolete":
+				obsolete = val == "true"
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obo: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := o.Build(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteOBO serialises the ontology in the subset of OBO that ParseOBO reads.
+// Terms are written in insertion order, so a generate→write→parse round trip
+// is byte-stable.
+func (o *Ontology) WriteOBO(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.2\nontology: ctxsearch-synthetic\n")
+	for _, id := range o.order {
+		t := o.terms[id]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\nname: %s\n", t.ID, t.Name)
+		if t.Namespace != "" {
+			fmt.Fprintf(bw, "namespace: %s\n", t.Namespace)
+		}
+		if t.Def != "" {
+			fmt.Fprintf(bw, "def: %q\n", t.Def)
+		}
+		for _, p := range t.Parents {
+			fmt.Fprintf(bw, "is_a: %s ! %s\n", p, o.terms[p].Name)
+		}
+	}
+	return bw.Flush()
+}

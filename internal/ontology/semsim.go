@@ -1,0 +1,69 @@
+package ontology
+
+import "sort"
+
+// CommonAncestors returns the shared ancestors of a and b (each term counts
+// as an ancestor of itself for this purpose, the convention of semantic
+// similarity measures), sorted by ID.
+func (o *Ontology) CommonAncestors(a, b TermID) []TermID {
+	if o.Term(a) == nil || o.Term(b) == nil {
+		return nil
+	}
+	setA := map[TermID]bool{a: true}
+	for _, x := range o.Ancestors(a) {
+		setA[x] = true
+	}
+	var out []TermID
+	if setA[b] {
+		out = append(out, b)
+	}
+	for _, x := range o.Ancestors(b) {
+		if setA[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MostInformativeCommonAncestor returns the common ancestor with the
+// highest information content (the deepest in Resnik's sense), or "" when
+// the terms share no ancestor (different namespaces).
+func (o *Ontology) MostInformativeCommonAncestor(a, b TermID) TermID {
+	var best TermID
+	bestIC := -1.0
+	for _, c := range o.CommonAncestors(a, b) {
+		if ic := o.InformationContent(c); ic > bestIC {
+			bestIC = ic
+			best = c
+		}
+	}
+	return best
+}
+
+// ResnikSimilarity implements the semantic similarity of Resnik (IJCAI
+// 1995), which the paper's information-content machinery builds on:
+// sim(a,b) = IC(most informative common ancestor). 0 when the terms share
+// no ancestor.
+func (o *Ontology) ResnikSimilarity(a, b TermID) float64 {
+	mica := o.MostInformativeCommonAncestor(a, b)
+	if mica == "" {
+		return 0
+	}
+	return o.InformationContent(mica)
+}
+
+// LinSimilarity is Lin's normalised variant:
+// 2·IC(mica) / (IC(a)+IC(b)), in [0,1]; 0 for disjoint terms or when both
+// terms carry no information (roots).
+func (o *Ontology) LinSimilarity(a, b TermID) float64 {
+	mica := o.MostInformativeCommonAncestor(a, b)
+	if mica == "" {
+		return 0
+	}
+	ia, ib := o.InformationContent(a), o.InformationContent(b)
+	if ia+ib == 0 {
+		return 0
+	}
+	return 2 * o.InformationContent(mica) / (ia + ib)
+}

@@ -1,0 +1,111 @@
+package ontology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommonAncestors(t *testing.T) {
+	o := diamond(t)
+	// a and b share the root; c counts itself.
+	got := o.CommonAncestors("GO:2", "GO:3")
+	if len(got) != 1 || got[0] != "GO:1" {
+		t.Fatalf("CommonAncestors(a,b) = %v", got)
+	}
+	// c's ancestors include a, b, root; d shares all plus c itself.
+	got = o.CommonAncestors("GO:4", "GO:5")
+	if len(got) != 4 { // root, a, b, c
+		t.Fatalf("CommonAncestors(c,d) = %v", got)
+	}
+	if got := o.CommonAncestors("GO:404", "GO:1"); got != nil {
+		t.Fatalf("unknown term ancestors = %v", got)
+	}
+	// Self: the term itself is its most informative common ancestor.
+	got = o.CommonAncestors("GO:4", "GO:4")
+	found := false
+	for _, x := range got {
+		if x == "GO:4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self must be its own common ancestor: %v", got)
+	}
+}
+
+func TestResnikSimilarity(t *testing.T) {
+	o := diamond(t)
+	// Siblings a,b: MICA is the root with IC 0.
+	if got := o.ResnikSimilarity("GO:2", "GO:3"); got != 0 {
+		t.Fatalf("sibling Resnik = %v", got)
+	}
+	// c vs d: MICA is c (IC log(5/2)); higher than root.
+	cd := o.ResnikSimilarity("GO:4", "GO:5")
+	if cd <= 0 {
+		t.Fatalf("Resnik(c,d) = %v", cd)
+	}
+	// Self-similarity equals own IC.
+	if got := o.ResnikSimilarity("GO:5", "GO:5"); got != o.InformationContent("GO:5") {
+		t.Fatalf("self Resnik = %v", got)
+	}
+	// Resnik grows with specificity of the shared ancestor.
+	if !(o.ResnikSimilarity("GO:5", "GO:4") > o.ResnikSimilarity("GO:5", "GO:2")) {
+		t.Fatal("deeper MICA must give higher Resnik")
+	}
+}
+
+func TestLinSimilarity(t *testing.T) {
+	o := diamond(t)
+	// Self similarity of an informative term is 1.
+	if got := o.LinSimilarity("GO:5", "GO:5"); got != 1 {
+		t.Fatalf("self Lin = %v", got)
+	}
+	// Root self-similarity degenerates to 0 (no information).
+	if got := o.LinSimilarity("GO:1", "GO:1"); got != 0 {
+		t.Fatalf("root Lin = %v", got)
+	}
+	if got := o.LinSimilarity("GO:2", "GO:3"); got != 0 {
+		t.Fatalf("sibling Lin = %v", got)
+	}
+}
+
+// Property over a generated ontology: Lin similarity is symmetric and in
+// [0,1]; Resnik is symmetric and non-negative.
+func TestSemanticSimilarityProperties(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 12, NumTerms: 120, MaxDepth: 7, SecondParentProb: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := o.TermIDs()
+	f := func(i, j uint16) bool {
+		a := ids[int(i)%len(ids)]
+		b := ids[int(j)%len(ids)]
+		lin1, lin2 := o.LinSimilarity(a, b), o.LinSimilarity(b, a)
+		res1, res2 := o.ResnikSimilarity(a, b), o.ResnikSimilarity(b, a)
+		if lin1 != lin2 || res1 != res2 {
+			return false
+		}
+		return lin1 >= 0 && lin1 <= 1+1e-9 && res1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMICADisjointNamespaces(t *testing.T) {
+	// Two separate roots: no common ancestor.
+	o := New()
+	_ = o.Add(Term{ID: "GO:1", Name: "root one"})
+	_ = o.Add(Term{ID: "GO:2", Name: "root two"})
+	_ = o.Add(Term{ID: "GO:3", Name: "child one", Parents: []TermID{"GO:1"}})
+	_ = o.Add(Term{ID: "GO:4", Name: "child two", Parents: []TermID{"GO:2"}})
+	if err := o.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.MostInformativeCommonAncestor("GO:3", "GO:4"); got != "" {
+		t.Fatalf("disjoint MICA = %q", got)
+	}
+	if got := o.ResnikSimilarity("GO:3", "GO:4"); got != 0 {
+		t.Fatalf("disjoint Resnik = %v", got)
+	}
+}

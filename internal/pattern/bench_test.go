@@ -1,0 +1,79 @@
+package pattern
+
+import (
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+func benchFixture(b *testing.B) (*ontology.Ontology, *corpus.Corpus, *PosIndex) {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 80, MaxDepth: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, c, NewPosIndex(corpus.NewAnalyzer(c))
+}
+
+func BenchmarkPosIndexBuild(b *testing.B) {
+	o, _ := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 60, MaxDepth: 6})
+	c, _ := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	a := corpus.NewAnalyzer(c)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewPosIndex(a)
+	}
+}
+
+func BenchmarkPhraseOccurrences(b *testing.B) {
+	o, c, ix := benchFixture(b)
+	term := c.EvidenceTerms()[0]
+	phrase := ix.Analyzer().Tokenizer().Terms(o.Term(term).Name)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ix.PhraseOccurrences(phrase, nil)
+	}
+}
+
+func BenchmarkMineFrequentPhrases(b *testing.B) {
+	_, c, ix := benchFixture(b)
+	term := c.EvidenceTerms()[0]
+	docs := c.EvidencePapers(term)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MineFrequentPhrases(ix, docs, MineConfig{MinSupport: 2, MaxLen: 3})
+	}
+}
+
+func BenchmarkBuildPatternSet(b *testing.B) {
+	o, c, ix := benchFixture(b)
+	term := c.EvidenceTerms()[0]
+	df := TermWordDF(o, ix)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Build(ix, o, term, c.EvidencePapers(term), df, cfg)
+	}
+}
+
+func BenchmarkScorePapers(b *testing.B) {
+	o, c, ix := benchFixture(b)
+	term := c.EvidenceTerms()[0]
+	df := TermWordDF(o, ix)
+	set := Build(ix, o, term, c.EvidencePapers(term), df, DefaultConfig())
+	mcfg := DefaultMatchConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = set.ScorePapers(ix, nil, mcfg)
+	}
+}

@@ -1,0 +1,122 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"ctxsearch/internal/corpus"
+)
+
+// FreqPhrase is a frequent contiguous phrase mined from a document set.
+type FreqPhrase struct {
+	Words []string
+	// Support is the number of distinct documents containing the phrase.
+	Support int
+	// Occurrences is the total number of occurrences across documents.
+	Occurrences int
+}
+
+// Key returns the canonical space-joined phrase.
+func (f FreqPhrase) Key() string { return strings.Join(f.Words, " ") }
+
+// MineConfig configures frequent-phrase mining.
+type MineConfig struct {
+	// MinSupport is the minimum number of distinct documents a phrase must
+	// occur in (≥ 1).
+	MinSupport int
+	// MaxLen caps phrase length in words.
+	MaxLen int
+}
+
+// MineFrequentPhrases runs apriori-style level-wise mining of contiguous
+// phrases over the given documents. Counting scans the documents' token
+// streams once per level (cost O(token mass · MaxLen)); a (k+1)-gram is
+// counted only when both its k-prefix and k-suffix were frequent at the
+// previous level — the apriori downward-closure property for contiguous
+// sequences, which prunes the candidate space without any corpus-wide
+// queries.
+//
+// Results are sorted by descending support, then occurrences, then phrase
+// text for determinism.
+func MineFrequentPhrases(ix *PosIndex, docs []corpus.PaperID, cfg MineConfig) []FreqPhrase {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+	if cfg.MaxLen < 1 {
+		cfg.MaxLen = 3
+	}
+	uniq := make([]corpus.PaperID, 0, len(docs))
+	seenDoc := make(map[corpus.PaperID]bool, len(docs))
+	for _, d := range docs {
+		if !seenDoc[d] {
+			seenDoc[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	type stat struct{ support, occ int }
+	var out []FreqPhrase
+	prevFrequent := map[string]bool{} // keys of frequent (k)-grams
+
+	for k := 1; k <= cfg.MaxLen; k++ {
+		counts := make(map[string]*stat)
+		for _, d := range uniq {
+			toks := ix.tokens[d]
+			seen := map[string]bool{}
+			for i := 0; i+k <= len(toks); i++ {
+				ok := true
+				for j := i; j < i+k; j++ {
+					if toks[j] == "" { // section gap
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				key := strings.Join(toks[i:i+k], " ")
+				if k > 1 {
+					// Apriori pruning on prefix and suffix.
+					prefix := strings.Join(toks[i:i+k-1], " ")
+					suffix := strings.Join(toks[i+1:i+k], " ")
+					if !prevFrequent[prefix] || !prevFrequent[suffix] {
+						continue
+					}
+				}
+				s := counts[key]
+				if s == nil {
+					s = &stat{}
+					counts[key] = s
+				}
+				s.occ++
+				if !seen[key] {
+					seen[key] = true
+					s.support++
+				}
+			}
+		}
+		frequent := map[string]bool{}
+		for key, s := range counts {
+			if s.support >= cfg.MinSupport {
+				frequent[key] = true
+				out = append(out, FreqPhrase{Words: strings.Fields(key), Support: s.support, Occurrences: s.occ})
+			}
+		}
+		if len(frequent) == 0 {
+			break
+		}
+		prevFrequent = frequent
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences > out[j].Occurrences
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}

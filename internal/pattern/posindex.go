@@ -1,0 +1,206 @@
+// Package pattern implements the pattern-based prestige machinery of the
+// paper's §3.3: apriori-style frequent-phrase mining over training papers,
+// regular ⟨left, middle, right⟩ patterns, side-joined and middle-joined
+// extended patterns, the pattern score function (MiddleTypeScore,
+// TotalTermScore, PaperCoverage, PatternOccFreq, PatternPaperFreq), and
+// pattern→paper matching with per-section match strength.
+package pattern
+
+import (
+	"sort"
+
+	"ctxsearch/internal/corpus"
+)
+
+// sectionGap separates sections in the global position space so that a
+// phrase can never straddle a section boundary (adjacency steps by exactly
+// 1; the gap is 2).
+const sectionGap = 2
+
+// Occurrence locates one phrase occurrence inside a document.
+type Occurrence struct {
+	Doc corpus.PaperID
+	// Pos is the global position of the first word (see PosIndex).
+	Pos int
+	// Section is the paper section containing the occurrence.
+	Section corpus.Section
+}
+
+// PosIndex is a positional inverted index over the analysed corpus: for
+// every stemmed term, the documents and global token positions where it
+// occurs. Phrase queries intersect positions, so their cost scales with the
+// rarest word of the phrase, not with corpus size.
+type PosIndex struct {
+	analyzer *corpus.Analyzer
+	// positions[word][doc] = sorted global positions.
+	positions map[string]map[corpus.PaperID][]int32
+	// bounds[doc] = start position of each section, aligned with
+	// corpus.Sections; used to map a global position back to its section
+	// and to recover window tokens.
+	bounds map[corpus.PaperID][]int32
+	// tokens[doc] = concatenated token stream with section gaps, indexed by
+	// global position (gap slots hold "").
+	tokens map[corpus.PaperID][]string
+}
+
+// NewPosIndex builds the positional index from an analysed corpus.
+func NewPosIndex(a *corpus.Analyzer) *PosIndex {
+	ix := &PosIndex{
+		analyzer:  a,
+		positions: make(map[string]map[corpus.PaperID][]int32),
+		bounds:    make(map[corpus.PaperID][]int32, a.Corpus().Len()),
+		tokens:    make(map[corpus.PaperID][]string, a.Corpus().Len()),
+	}
+	for _, p := range a.Corpus().Papers() {
+		f := a.Features(p.ID)
+		var stream []string
+		var bounds []int32
+		for _, s := range corpus.Sections {
+			if len(stream) > 0 {
+				for g := 0; g < sectionGap; g++ {
+					stream = append(stream, "")
+				}
+			}
+			bounds = append(bounds, int32(len(stream)))
+			stream = append(stream, f.Tokens[s]...)
+		}
+		ix.bounds[p.ID] = bounds
+		ix.tokens[p.ID] = stream
+		for pos, w := range stream {
+			if w == "" {
+				continue
+			}
+			m := ix.positions[w]
+			if m == nil {
+				m = make(map[corpus.PaperID][]int32)
+				ix.positions[w] = m
+			}
+			m[p.ID] = append(m[p.ID], int32(pos))
+		}
+	}
+	return ix
+}
+
+// Analyzer returns the analyzer the index was built from.
+func (ix *PosIndex) Analyzer() *corpus.Analyzer { return ix.analyzer }
+
+// DocsWithWord returns the IDs of documents containing the word, sorted.
+func (ix *PosIndex) DocsWithWord(w string) []corpus.PaperID {
+	m := ix.positions[w]
+	out := make([]corpus.PaperID, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WordDocFreq returns in how many documents the word occurs.
+func (ix *PosIndex) WordDocFreq(w string) int { return len(ix.positions[w]) }
+
+// SectionOf maps a document-global position back to its section.
+func (ix *PosIndex) SectionOf(doc corpus.PaperID, pos int) corpus.Section {
+	bounds := ix.bounds[doc]
+	sec := corpus.Sections[0]
+	for i, b := range bounds {
+		if pos >= int(b) {
+			sec = corpus.Sections[i]
+		}
+	}
+	return sec
+}
+
+// PhraseOccurrences finds all contiguous occurrences of the stemmed word
+// sequence across the corpus (or within the docs set if non-nil). Returns
+// occurrences grouped per document in position order.
+func (ix *PosIndex) PhraseOccurrences(words []string, within map[corpus.PaperID]bool) map[corpus.PaperID][]Occurrence {
+	if len(words) == 0 {
+		return nil
+	}
+	// Drive from the rarest word to minimise verification work.
+	rarest := 0
+	for i, w := range words {
+		if ix.WordDocFreq(w) < ix.WordDocFreq(words[rarest]) {
+			rarest = i
+		}
+	}
+	driver := ix.positions[words[rarest]]
+	out := make(map[corpus.PaperID][]Occurrence)
+	for doc, drvPositions := range driver {
+		if within != nil && !within[doc] {
+			continue
+		}
+		// Collect the other words' position sets for this doc.
+		ok := true
+		sets := make([]map[int32]bool, len(words))
+		for i, w := range words {
+			if i == rarest {
+				continue
+			}
+			ps := ix.positions[w][doc]
+			if len(ps) == 0 {
+				ok = false
+				break
+			}
+			set := make(map[int32]bool, len(ps))
+			for _, p := range ps {
+				set[p] = true
+			}
+			sets[i] = set
+		}
+		if !ok {
+			continue
+		}
+		var occs []Occurrence
+		for _, dp := range drvPositions {
+			start := dp - int32(rarest)
+			match := true
+			for i := range words {
+				if i == rarest {
+					continue
+				}
+				if !sets[i][start+int32(i)] {
+					match = false
+					break
+				}
+			}
+			if match {
+				occs = append(occs, Occurrence{
+					Doc:     doc,
+					Pos:     int(start),
+					Section: ix.SectionOf(doc, int(start)),
+				})
+			}
+		}
+		if len(occs) > 0 {
+			sort.Slice(occs, func(i, j int) bool { return occs[i].Pos < occs[j].Pos })
+			out[doc] = occs
+		}
+	}
+	return out
+}
+
+// Window returns up to w non-gap tokens on each side of the span
+// [pos, pos+length) in the document's global stream, never crossing into a
+// neighbouring document.
+func (ix *PosIndex) Window(doc corpus.PaperID, pos, length, w int) (left, right []string) {
+	stream := ix.tokens[doc]
+	for i := pos - 1; i >= 0 && len(left) < w; i-- {
+		if stream[i] == "" {
+			break // stop at section boundary
+		}
+		left = append([]string{stream[i]}, left...)
+	}
+	for i := pos + length; i < len(stream) && len(right) < w; i++ {
+		if stream[i] == "" {
+			break
+		}
+		right = append(right, stream[i])
+	}
+	return left, right
+}
+
+// DocFreqOfPhrase returns in how many documents the phrase occurs.
+func (ix *PosIndex) DocFreqOfPhrase(words []string) int {
+	return len(ix.PhraseOccurrences(words, nil))
+}

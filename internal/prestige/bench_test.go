@@ -1,0 +1,131 @@
+package prestige
+
+import (
+	"testing"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/pattern"
+)
+
+type corpusPaperID = corpus.PaperID
+
+func benchFix(b *testing.B) *fixture {
+	b.Helper()
+	if cachedFixture != nil {
+		return cachedFixture
+	}
+	// Reuse the test fixture builder through a throwaway testing.T-like
+	// path: construct directly.
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 5, NumTerms: 70, MaxDepth: 7, SecondParentProb: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	ix := pattern.NewPosIndex(a)
+	cfg := contextset.DefaultConfig()
+	cachedFixture = &fixture{
+		onto: o, c: c, a: a, ix: ix,
+		text: contextset.BuildTextBased(a, o, cfg),
+		pat:  contextset.BuildPatternBased(ix, a, o, cfg),
+	}
+	return cachedFixture
+}
+
+func largestContext(f *fixture) ontology.TermID {
+	best := ontology.TermID("")
+	bestN := 0
+	for _, ctx := range f.pat.Contexts() {
+		if n := f.pat.Size(ctx); n > bestN {
+			bestN = n
+			best = ctx
+		}
+	}
+	return best
+}
+
+func BenchmarkCitationScoreContext(b *testing.B) {
+	f := benchFix(b)
+	s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	ctx := largestContext(f)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.ScoreContext(f.pat, ctx)
+	}
+}
+
+func BenchmarkTextScoreContext(b *testing.B) {
+	f := benchFix(b)
+	s := NewTextScorer(f.a, DefaultTextWeights())
+	var ctx ontology.TermID
+	for _, c := range f.text.Contexts() {
+		if _, ok := f.text.Representative(c); ok && f.text.Size(c) > 20 {
+			ctx = c
+			break
+		}
+	}
+	if ctx == "" {
+		b.Skip("no suitable context")
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.ScoreContext(f.text, ctx)
+	}
+}
+
+func BenchmarkPatternScoreContext(b *testing.B) {
+	f := benchFix(b)
+	s := NewPatternScorer(f.ix, f.onto, pattern.DefaultConfig(), pattern.DefaultMatchConfig())
+	ctx := largestContext(f)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.ScoreContext(f.pat, ctx)
+	}
+}
+
+func BenchmarkScoreAllSerialVsParallel(b *testing.B) {
+	f := benchFix(b)
+	b.Run("serial", func(b *testing.B) {
+		s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ScoreAll(s, f.pat, 10)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ScoreAllParallel(s, f.pat, 10, 0)
+		}
+	})
+}
+
+func BenchmarkPropagateMax(b *testing.B) {
+	f := benchFix(b)
+	s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	base := ScoreAll(s, f.pat, 10)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Copy then propagate (propagation mutates in place).
+		cp := make(Scores, len(base))
+		for ctx, m := range base {
+			mm := make(map[corpusPaperID]float64, len(m))
+			for id, v := range m {
+				mm[id] = v
+			}
+			cp[ctx] = mm
+		}
+		_ = PropagateMax(f.onto, cp)
+	}
+}

@@ -1,0 +1,163 @@
+package prestige
+
+import (
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// CitationScorer implements the citation-based prestige function of §3.1: a
+// per-context PageRank over the induced citation subgraph — only citations
+// between papers inside the context count, so citations from other contexts
+// cannot erroneously boost a paper's score.
+type CitationScorer struct {
+	graph *citegraph.Graph
+	opts  citegraph.PageRankOpts
+
+	// CrossContextWeight enables the §7 future-work extension: instead of
+	// omitting citations whose other endpoint lies outside the context,
+	// they contribute with a weight — higher when the endpoint's context is
+	// hierarchically related to this one. Zero (the default) reproduces the
+	// paper's main method.
+	CrossContextWeight CrossContextWeights
+}
+
+// CrossContextWeights configures the §7 extension. All weights in [0,1].
+type CrossContextWeights struct {
+	// Enabled turns the extension on.
+	Enabled bool
+	// Related is the weight of edges to papers of hierarchically related
+	// contexts (ancestor/descendant of the scored context).
+	Related float64
+	// Unrelated is the weight of edges to papers of unrelated contexts.
+	Unrelated float64
+	// Semantic grades the weight continuously instead of the binary
+	// related/unrelated split: weight = Unrelated + (Related−Unrelated) ·
+	// LinSimilarity(ctx, other). The §7 text sketches exactly this "assign
+	// a higher weight the closer the relative" policy.
+	Semantic bool
+}
+
+// NewCitationScorer builds the scorer over the corpus-wide citation graph.
+func NewCitationScorer(c *corpus.Corpus, opts citegraph.PageRankOpts) *CitationScorer {
+	return &CitationScorer{graph: GraphFromCorpus(c), opts: opts}
+}
+
+// Name implements Scorer.
+func (s *CitationScorer) Name() string { return "citation" }
+
+// ScoreContext implements Scorer: PageRank over the induced subgraph,
+// max-normalised. With the §7 extension enabled, boundary citations add a
+// weighted bonus on top of the in-context PageRank.
+func (s *CitationScorer) ScoreContext(cs *contextset.ContextSet, ctx ontology.TermID) map[corpus.PaperID]float64 {
+	papers := cs.Papers(ctx)
+	if len(papers) == 0 {
+		return map[corpus.PaperID]float64{}
+	}
+	nodes := make([]int, len(papers))
+	for i, p := range papers {
+		nodes[i] = int(p)
+	}
+	sub, mapping := s.graph.Subgraph(nodes)
+	pr := citegraph.PageRank(sub, s.opts)
+	out := make(map[corpus.PaperID]float64, len(mapping))
+	for i, orig := range mapping {
+		out[corpus.PaperID(orig)] = pr[i]
+	}
+	if s.CrossContextWeight.Enabled {
+		s.addCrossContextBonus(cs, ctx, out)
+	}
+	maxNormalizeMap(out)
+	return out
+}
+
+// addCrossContextBonus implements the §7 variation: each citation crossing
+// the context boundary contributes a small weighted vote — the weight
+// depends on whether the citing/cited paper's contexts are hierarchically
+// related to ctx. The bonus is scaled to the average in-context score so it
+// perturbs rather than dominates.
+func (s *CitationScorer) addCrossContextBonus(cs *contextset.ContextSet, ctx ontology.TermID, scores map[corpus.PaperID]float64) {
+	inCtx := cs.PaperSet(ctx)
+	var avg float64
+	for _, v := range scores {
+		avg += v
+	}
+	if len(scores) > 0 {
+		avg /= float64(len(scores))
+	}
+	onto := cs.Ontology()
+	for p := range scores {
+		var bonus float64
+		neighbors := make([]int32, 0, 8)
+		neighbors = append(neighbors, s.graph.In(int(p))...)
+		neighbors = append(neighbors, s.graph.Out(int(p))...)
+		for _, q := range neighbors {
+			qid := corpus.PaperID(q)
+			if inCtx[qid] {
+				continue // in-context edges already counted by PageRank
+			}
+			w := s.CrossContextWeight.Unrelated
+			if s.CrossContextWeight.Semantic {
+				best := 0.0
+				for _, qctx := range cs.ContextsOf(qid) {
+					if lin := onto.LinSimilarity(ctx, qctx); lin > best {
+						best = lin
+					}
+				}
+				w += (s.CrossContextWeight.Related - s.CrossContextWeight.Unrelated) * best
+			} else {
+				for _, qctx := range cs.ContextsOf(qid) {
+					if onto.HierarchicallyRelated(ctx, qctx) {
+						w = s.CrossContextWeight.Related
+						break
+					}
+				}
+			}
+			bonus += w
+		}
+		if bonus > 0 {
+			scores[p] += avg * bonus / (bonus + 10) // saturating bonus
+		}
+	}
+}
+
+// ContextSparseness reports the sparseness of a context's induced citation
+// graph — the diagnostic the paper uses to explain citation-score weakness.
+func (s *CitationScorer) ContextSparseness(cs *contextset.ContextSet, ctx ontology.TermID) float64 {
+	papers := cs.Papers(ctx)
+	nodes := make([]int, len(papers))
+	for i, p := range papers {
+		nodes[i] = int(p)
+	}
+	sub, _ := s.graph.Subgraph(nodes)
+	return sub.Sparseness()
+}
+
+// IsolationFraction returns the fraction of a context's papers with no
+// citation edge inside the context at all — the papers PageRank cannot
+// differentiate. This is the operative form of the paper's sparseness
+// argument: deeper contexts keep fewer of their papers' citations inside
+// the context, so more papers are isolated and citation scores degenerate.
+func (s *CitationScorer) IsolationFraction(cs *contextset.ContextSet, ctx ontology.TermID) float64 {
+	papers := cs.Papers(ctx)
+	if len(papers) == 0 {
+		return 1
+	}
+	nodes := make([]int, len(papers))
+	for i, p := range papers {
+		nodes[i] = int(p)
+	}
+	sub, _ := s.graph.Subgraph(nodes)
+	isolated := 0
+	for i := 0; i < sub.Len(); i++ {
+		if len(sub.Out(i)) == 0 && len(sub.In(i)) == 0 {
+			isolated++
+		}
+	}
+	return float64(isolated) / float64(sub.Len())
+}
+
+// Graph exposes the underlying corpus-wide citation graph (used by the
+// HITS-correlation ablation).
+func (s *CitationScorer) Graph() *citegraph.Graph { return s.graph }

@@ -1,0 +1,59 @@
+package prestige
+
+import (
+	"runtime"
+	"sync"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/ontology"
+)
+
+// ScoreAllParallel is ScoreAll with the per-context scoring fanned out over
+// a worker pool. Results are identical to the serial version (per-context
+// scoring is independent and deterministic); only wall-clock time changes.
+// workers ≤ 0 selects GOMAXPROCS.
+//
+// The built-in scorers are safe for concurrent ScoreContext calls; custom
+// Scorer implementations used here must be too.
+func ScoreAllParallel(sc Scorer, cs *contextset.ContextSet, minSize, workers int) Scores {
+	ctxs := cs.ContextsWithMinSize(minSize)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	if workers <= 1 {
+		return ScoreAll(sc, cs, minSize)
+	}
+	out := make(Scores, len(ctxs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan ontology.TermID)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx := range work {
+				m := sc.ScoreContext(cs, ctx)
+				if m == nil {
+					continue
+				}
+				if d := cs.Decay(ctx); d != 1 {
+					for id := range m {
+						m[id] *= d
+					}
+				}
+				mu.Lock()
+				out[ctx] = m
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, ctx := range ctxs {
+		work <- ctx
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,142 @@
+// Package prestige implements the paper's primary contribution: the three
+// context-based prestige score functions of §3 — citation-based (per-context
+// PageRank), text-based (weighted section/author/citation similarity to a
+// representative paper), and pattern-based (scored textual patterns) — plus
+// the hierarchical max-score propagation rule and the §7 future-work
+// extension that weights cross-context citation relationships instead of
+// omitting them.
+//
+// All scorers produce per-context scores max-normalised to [0,1] (so the
+// separability analysis can bin them uniformly) and damped by the context's
+// RateOfDecay when its paper set was inherited from an ancestor.
+package prestige
+
+import (
+	"sort"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// Scores holds prestige scores per context per paper.
+type Scores map[ontology.TermID]map[corpus.PaperID]float64
+
+// Get returns the score of a paper in a context (0 when absent).
+func (s Scores) Get(ctx ontology.TermID, p corpus.PaperID) float64 {
+	return s[ctx][p]
+}
+
+// Contexts returns the scored contexts sorted by term ID.
+func (s Scores) Contexts() []ontology.TermID {
+	out := make([]ontology.TermID, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Values returns the score list of one context (unordered).
+func (s Scores) Values(ctx ontology.TermID) []float64 {
+	m := s[ctx]
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// TopK returns the IDs of the k highest-scored papers of a context. Papers
+// tied with the k-th score are all included, per the paper's §2 definition
+// of the top-k overlapping ratio denominator.
+func (s Scores) TopK(ctx ontology.TermID, k int) []corpus.PaperID {
+	m := s[ctx]
+	if k <= 0 || len(m) == 0 {
+		return nil
+	}
+	type ps struct {
+		id corpus.PaperID
+		v  float64
+	}
+	all := make([]ps, 0, len(m))
+	for id, v := range m {
+		all = append(all, ps{id, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	cutoff := all[k-1].v
+	out := make([]corpus.PaperID, 0, k)
+	for _, e := range all {
+		if e.v < cutoff {
+			break
+		}
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Scorer computes prestige scores for the papers of one context.
+type Scorer interface {
+	// Name identifies the score function ("citation", "text", "pattern").
+	Name() string
+	// ScoreContext returns prestige scores in [0,1] for the papers of ctx.
+	// A nil map means the function is not applicable to this context (e.g.
+	// the text-based function without a representative paper).
+	ScoreContext(cs *contextset.ContextSet, ctx ontology.TermID) map[corpus.PaperID]float64
+}
+
+// ScoreAll runs a scorer over every context of the set with more than
+// minSize papers, applying the context's RateOfDecay damping.
+func ScoreAll(sc Scorer, cs *contextset.ContextSet, minSize int) Scores {
+	out := make(Scores)
+	for _, ctx := range cs.ContextsWithMinSize(minSize) {
+		m := sc.ScoreContext(cs, ctx)
+		if m == nil {
+			continue
+		}
+		if d := cs.Decay(ctx); d != 1 {
+			for id := range m {
+				m[id] *= d
+			}
+		}
+		out[ctx] = m
+	}
+	return out
+}
+
+// maxNormalizeMap scales a score map so its maximum is 1 (no-op when empty
+// or all-zero).
+func maxNormalizeMap(m map[corpus.PaperID]float64) {
+	var max float64
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for id := range m {
+		m[id] /= max
+	}
+}
+
+// GraphFromCorpus builds the corpus-wide citation graph (node i = paper i).
+func GraphFromCorpus(c *corpus.Corpus) *citegraph.Graph {
+	g := citegraph.NewGraph(c.Len())
+	for _, p := range c.Papers() {
+		for _, r := range p.References {
+			_ = g.AddEdge(int(p.ID), int(r))
+		}
+	}
+	return g
+}

@@ -1,0 +1,397 @@
+package prestige
+
+import (
+	"testing"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/pattern"
+)
+
+type fixture struct {
+	onto *ontology.Ontology
+	c    *corpus.Corpus
+	a    *corpus.Analyzer
+	ix   *pattern.PosIndex
+	text *contextset.ContextSet
+	pat  *contextset.ContextSet
+}
+
+var cachedFixture *fixture
+
+// buildFixture constructs (once) a generated corpus with both context paper
+// sets; prestige tests share it because construction dominates runtime.
+func buildFixture(t *testing.T) *fixture {
+	t.Helper()
+	if cachedFixture != nil {
+		return cachedFixture
+	}
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 5, NumTerms: 70, MaxDepth: 7, SecondParentProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	ix := pattern.NewPosIndex(a)
+	cfg := contextset.DefaultConfig()
+	cachedFixture = &fixture{
+		onto: o, c: c, a: a, ix: ix,
+		text: contextset.BuildTextBased(a, o, cfg),
+		pat:  contextset.BuildPatternBased(ix, a, o, cfg),
+	}
+	return cachedFixture
+}
+
+func inRange01(t *testing.T, name string, m map[corpus.PaperID]float64) {
+	t.Helper()
+	var max float64
+	for id, v := range m {
+		if v < 0 || v > 1.0000001 {
+			t.Fatalf("%s: score of %d out of range: %v", name, id, v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if len(m) > 0 && max < 0.999999 {
+		t.Fatalf("%s: max score %v, want 1 after normalisation", name, max)
+	}
+}
+
+func TestCitationScorer(t *testing.T) {
+	f := buildFixture(t)
+	s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	if s.Name() != "citation" {
+		t.Fatal("name wrong")
+	}
+	scored := 0
+	for _, ctx := range f.pat.ContextsWithMinSize(10) {
+		m := s.ScoreContext(f.pat, ctx)
+		inRange01(t, string(ctx), m)
+		if len(m) != f.pat.Size(ctx) {
+			t.Fatalf("context %s: scored %d of %d papers", ctx, len(m), f.pat.Size(ctx))
+		}
+		scored++
+	}
+	if scored == 0 {
+		t.Fatal("no contexts scored")
+	}
+}
+
+func TestCitationScorerUsesOnlyInContextEdges(t *testing.T) {
+	// Hand-built: papers 0,1,2 in context; paper 3 outside cites 2 heavily.
+	// In-context, paper 1 is cited by 0 and 2; paper 2 gets no in-context
+	// citations, so 1 must outrank 2 regardless of 3's out-of-context vote.
+	papers := []*corpus.Paper{
+		{ID: 0, Title: "t zero", Abstract: "a", Body: "b", Authors: []string{"x"}, Topics: []ontology.TermID{"GO:2"}, Evidence: true},
+		{ID: 1, Title: "t one", Abstract: "a", Body: "b", Authors: []string{"x"}, References: []corpus.PaperID{0}, Topics: []ontology.TermID{"GO:2"}},
+		{ID: 2, Title: "t two", Abstract: "a", Body: "b", Authors: []string{"x"}, References: []corpus.PaperID{1, 0}, Topics: []ontology.TermID{"GO:2"}},
+		{ID: 3, Title: "t three", Abstract: "a", Body: "b", Authors: []string{"x"}, References: []corpus.PaperID{2}},
+	}
+	// 0 ← 1, 0 ← 2, 1 ← 2 in-context; 2 ← 3 crosses the boundary.
+	c, err := corpus.NewCorpus(papers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ontology.New()
+	_ = o.Add(ontology.Term{ID: "GO:1", Name: "root"})
+	_ = o.Add(ontology.Term{ID: "GO:2", Name: "ctx", Parents: []ontology.TermID{"GO:1"}})
+	if err := o.Build(); err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	cs := contextset.BuildTextBased(a, o, contextset.Config{TextThreshold: 2}) // only evidence
+	// Manually verify context membership via evidence + threshold: context
+	// has only paper 0. Extend membership by lowering threshold instead:
+	cs = contextset.BuildTextBased(a, o, contextset.Config{TextThreshold: 0.01})
+	if !cs.Contains("GO:2", 1) || !cs.Contains("GO:2", 2) {
+		t.Skip("fixture too dissimilar for text assignment; skipping")
+	}
+	s := NewCitationScorer(c, citegraph.PageRankOpts{})
+	m := s.ScoreContext(cs, "GO:2")
+	if m[0] < m[2] == false {
+		t.Fatalf("paper 0 (2 in-context citations) must outrank paper 2 (0 in-context): %v", m)
+	}
+	if cs.Contains("GO:2", 3) {
+		t.Fatal("paper 3 unexpectedly in context")
+	}
+}
+
+func TestTextScorer(t *testing.T) {
+	f := buildFixture(t)
+	s := NewTextScorer(f.a, DefaultTextWeights())
+	if s.Name() != "text" {
+		t.Fatal("name wrong")
+	}
+	scored := 0
+	for _, ctx := range f.text.ContextsWithMinSize(10) {
+		m := s.ScoreContext(f.text, ctx)
+		if m == nil {
+			t.Fatalf("text context %s must have a representative", ctx)
+		}
+		inRange01(t, string(ctx), m)
+		rep, _ := f.text.Representative(ctx)
+		if m[rep] != 1 {
+			t.Fatalf("representative must score 1, got %v", m[rep])
+		}
+		scored++
+	}
+	if scored == 0 {
+		t.Fatal("no contexts scored")
+	}
+	// Pattern-based contexts have no representative → nil.
+	for _, ctx := range f.pat.Contexts() {
+		if _, ok := f.pat.Representative(ctx); !ok {
+			if m := s.ScoreContext(f.pat, ctx); m != nil {
+				t.Fatal("context without representative must return nil")
+			}
+			break
+		}
+	}
+}
+
+func TestTextScorerSimilarityComponents(t *testing.T) {
+	papers := []*corpus.Paper{
+		{ID: 0, Title: "zinc finger binding", Abstract: "zinc finger study", Body: "binding assay", IndexTerms: []string{"zinc"}, Authors: []string{"ann chen", "bob lee"}, References: nil},
+		{ID: 1, Title: "zinc finger binding", Abstract: "zinc finger study", Body: "binding assay", IndexTerms: []string{"zinc"}, Authors: []string{"ann chen", "bob lee"}, References: nil},
+		{ID: 2, Title: "steel corrosion", Abstract: "alloys", Body: "metallurgy text", IndexTerms: []string{"steel"}, Authors: []string{"zed quo"}, References: nil},
+		{ID: 3, Title: "third paper", Abstract: "misc", Body: "misc", Authors: []string{"ann chen", "carol wu"}},
+		{ID: 4, Title: "fourth paper", Abstract: "misc", Body: "misc", Authors: []string{"carol wu", "dave xu"}},
+	}
+	c, err := corpus.NewCorpus(papers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	s := NewTextScorer(a, DefaultTextWeights())
+	// Identical twins must be more similar than unrelated papers.
+	if s.Similarity(1, 0) <= s.Similarity(2, 0) {
+		t.Fatalf("twin sim %v ≤ unrelated sim %v", s.Similarity(1, 0), s.Similarity(2, 0))
+	}
+	// Author overlap: papers 0 and 1 share all authors → L0 = 1.
+	if got := authorJaccard(a.Features(0).Authors, a.Features(1).Authors); got != 1 {
+		t.Fatalf("authorJaccard twins = %v", got)
+	}
+	// Level-1: paper 0 (ann chen) and paper 4 (carol wu) bridge via paper 3.
+	l1 := s.levelOneOverlap(0, 4, a.Features(0).Authors, a.Features(4).Authors)
+	if l1 <= 0 {
+		t.Fatalf("level-1 overlap = %v, want > 0", l1)
+	}
+	// Self similarity of the representative.
+	if s.Similarity(0, 0) != 1 {
+		t.Fatal("self similarity must be 1")
+	}
+}
+
+func TestReferenceSim(t *testing.T) {
+	papers := []*corpus.Paper{
+		{ID: 0, Title: "a", Abstract: "a", Body: "a", Authors: []string{"x"}},
+		{ID: 1, Title: "b", Abstract: "b", Body: "b", Authors: []string{"x"}},
+		{ID: 2, Title: "c", Abstract: "c", Body: "c", Authors: []string{"x"}, References: []corpus.PaperID{0, 1}},
+		{ID: 3, Title: "d", Abstract: "d", Body: "d", Authors: []string{"x"}, References: []corpus.PaperID{0, 1}},
+		{ID: 4, Title: "e", Abstract: "e", Body: "e", Authors: []string{"x"}, References: []corpus.PaperID{2, 3}},
+	}
+	c, err := corpus.NewCorpus(papers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewTextScorer(corpus.NewAnalyzer(c), DefaultTextWeights())
+	// 2 and 3 share both references (bib coupling 1) and are co-cited by 4
+	// (co-citation 1) → SimReferences = 1.
+	if got := s.ReferenceSim(2, 3); got < 0.999 {
+		t.Fatalf("ReferenceSim(2,3) = %v", got)
+	}
+	if got := s.ReferenceSim(0, 4); got != 0 {
+		t.Fatalf("ReferenceSim(0,4) = %v", got)
+	}
+}
+
+func TestPatternScorer(t *testing.T) {
+	f := buildFixture(t)
+	s := NewPatternScorer(f.ix, f.onto, pattern.DefaultConfig(), pattern.DefaultMatchConfig())
+	if s.Name() != "pattern" {
+		t.Fatal("name wrong")
+	}
+	scored := 0
+	for _, ctx := range f.pat.ContextsWithMinSize(10) {
+		m := s.ScoreContext(f.pat, ctx)
+		if len(m) != f.pat.Size(ctx) {
+			t.Fatalf("context %s: scored %d of %d papers", ctx, len(m), f.pat.Size(ctx))
+		}
+		inRange01(t, string(ctx), m)
+		scored++
+		if scored >= 10 {
+			break // plenty; pattern scoring is the slow path
+		}
+	}
+	if scored == 0 {
+		t.Fatal("no contexts scored")
+	}
+	// Pattern sets must be cached.
+	if len(s.sets) == 0 {
+		t.Fatal("pattern set cache empty")
+	}
+}
+
+func TestScoreAllAppliesDecay(t *testing.T) {
+	f := buildFixture(t)
+	s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	scores := ScoreAll(s, f.pat, 0)
+	for _, ctx := range f.pat.Contexts() {
+		if _, inherited := f.pat.InheritedFrom(ctx); !inherited {
+			continue
+		}
+		d := f.pat.Decay(ctx)
+		if d >= 1 {
+			continue
+		}
+		// Max score must be ≤ decay (scores were ≤ 1 before damping).
+		var max float64
+		for _, v := range scores[ctx] {
+			if v > max {
+				max = v
+			}
+		}
+		if max > d+1e-9 {
+			t.Fatalf("context %s: max score %v exceeds decay %v", ctx, max, d)
+		}
+	}
+}
+
+func TestScoresTopK(t *testing.T) {
+	s := Scores{"GO:1": {0: 0.9, 1: 0.5, 2: 0.5, 3: 0.1}}
+	top := s.TopK("GO:1", 2)
+	// k=2 with a tie at the 2nd score: papers 1 and 2 both included.
+	if len(top) != 3 {
+		t.Fatalf("TopK with tie = %v", top)
+	}
+	if top[0] != 0 {
+		t.Fatalf("top paper = %v", top[0])
+	}
+	if got := s.TopK("GO:1", 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := s.TopK("GO:404", 3); got != nil {
+		t.Fatal("unknown context must return nil")
+	}
+	if got := s.TopK("GO:1", 99); len(got) != 4 {
+		t.Fatalf("oversized k = %v", got)
+	}
+}
+
+func TestPropagateMax(t *testing.T) {
+	// Hierarchy: GO:1 → GO:2 → GO:3 (chain), paper 7 in all three.
+	o := ontology.New()
+	_ = o.Add(ontology.Term{ID: "GO:1", Name: "a"})
+	_ = o.Add(ontology.Term{ID: "GO:2", Name: "b", Parents: []ontology.TermID{"GO:1"}})
+	_ = o.Add(ontology.Term{ID: "GO:3", Name: "c", Parents: []ontology.TermID{"GO:2"}})
+	if err := o.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s := Scores{
+		"GO:1": {7: 0.2, 8: 0.4},
+		"GO:2": {7: 0.3},
+		"GO:3": {7: 0.9, 9: 1.0},
+	}
+	PropagateMax(o, s)
+	if s["GO:1"][7] != 0.9 || s["GO:2"][7] != 0.9 {
+		t.Fatalf("max not propagated: %v", s)
+	}
+	// Paper 9 is not in GO:1's set — must not appear.
+	if _, ok := s["GO:1"][9]; ok {
+		t.Fatal("propagation added papers to ancestor")
+	}
+	// Paper 8 untouched.
+	if s["GO:1"][8] != 0.4 {
+		t.Fatal("unrelated score changed")
+	}
+	// Descendant scores unchanged.
+	if s["GO:3"][7] != 0.9 {
+		t.Fatal("descendant score changed")
+	}
+}
+
+func TestPropagateMaxSkipsUnscoredMiddle(t *testing.T) {
+	o := ontology.New()
+	_ = o.Add(ontology.Term{ID: "GO:1", Name: "a"})
+	_ = o.Add(ontology.Term{ID: "GO:2", Name: "b", Parents: []ontology.TermID{"GO:1"}})
+	_ = o.Add(ontology.Term{ID: "GO:3", Name: "c", Parents: []ontology.TermID{"GO:2"}})
+	if err := o.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// GO:2 not scored (excluded as too small): GO:3's score must still
+	// reach GO:1.
+	s := Scores{
+		"GO:1": {7: 0.1},
+		"GO:3": {7: 0.8},
+	}
+	PropagateMax(o, s)
+	if s["GO:1"][7] != 0.8 {
+		t.Fatalf("score must skip unscored middle context: %v", s)
+	}
+}
+
+func TestCrossContextExtension(t *testing.T) {
+	f := buildFixture(t)
+	base := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	ext := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	ext.CrossContextWeight = CrossContextWeights{Enabled: true, Related: 0.6, Unrelated: 0.1}
+	ctxs := f.pat.ContextsWithMinSize(10)
+	if len(ctxs) == 0 {
+		t.Skip("no large contexts")
+	}
+	// The extension must change at least one paper's score in at least one
+	// context (boundary citations exist in a generated corpus; a single
+	// context can be boundary-free).
+	changed := false
+	for _, ctx := range ctxs {
+		mb := base.ScoreContext(f.pat, ctx)
+		me := ext.ScoreContext(f.pat, ctx)
+		inRange01(t, "ext", me)
+		for id, v := range me {
+			if v != mb[id] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("cross-context extension had no effect on any context")
+	}
+}
+
+func TestContextSparseness(t *testing.T) {
+	f := buildFixture(t)
+	s := NewCitationScorer(f.c, citegraph.PageRankOpts{})
+	for _, ctx := range f.pat.ContextsWithMinSize(10)[:1] {
+		sp := s.ContextSparseness(f.pat, ctx)
+		if sp < 0 || sp > 1 {
+			t.Fatalf("sparseness out of range: %v", sp)
+		}
+	}
+}
+
+func TestScoresAccessors(t *testing.T) {
+	s := Scores{"GO:2": {1: 0.5}, "GO:1": {2: 0.25}}
+	if got := s.Get("GO:2", 1); got != 0.5 {
+		t.Fatalf("Get = %v", got)
+	}
+	if got := s.Get("GO:404", 1); got != 0 {
+		t.Fatalf("missing Get = %v", got)
+	}
+	ctxs := s.Contexts()
+	if len(ctxs) != 2 || ctxs[0] != "GO:1" {
+		t.Fatalf("Contexts = %v", ctxs)
+	}
+	if got := s.Values("GO:1"); len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("Values = %v", got)
+	}
+}

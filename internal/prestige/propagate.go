@@ -1,0 +1,47 @@
+package prestige
+
+import (
+	"sort"
+
+	"ctxsearch/internal/ontology"
+)
+
+// PropagateMax applies the hierarchy rule of §3: a paper residing in
+// context ci and in descendants ck…cn of ci takes score max(si, sk, …, sn)
+// in ci — a high score in a more specific descendant means high relevance
+// to the ancestor. The input is modified in place and returned.
+//
+// Terms are processed deepest-first, so scores flow transitively through
+// intermediate contexts that contain the paper. A descendant's score only
+// reaches an ancestor for papers the ancestor actually contains.
+func PropagateMax(onto *ontology.Ontology, s Scores) Scores {
+	terms := make([]ontology.TermID, 0, len(s))
+	for t := range s {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		li, lj := onto.Level(terms[i]), onto.Level(terms[j])
+		if li != lj {
+			return li > lj // deepest first
+		}
+		return terms[i] < terms[j]
+	})
+	for _, t := range terms {
+		child := s[t]
+		// Walk all proper ancestors; scored ancestors containing the paper
+		// take the max. (Direct parents would miss scored grandparents when
+		// the parent itself is unscored, e.g. excluded as too small.)
+		for _, anc := range onto.Ancestors(t) {
+			am, ok := s[anc]
+			if !ok {
+				continue
+			}
+			for p, v := range child {
+				if cur, in := am[p]; in && v > cur {
+					am[p] = v
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,178 @@
+package prestige
+
+import (
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/vector"
+)
+
+// TextWeights are the section/author/reference similarity weights of the
+// §3.2 text-based score Sim(PX, PC) = Σ weightᵢ · Simᵢ(PX, PC).
+type TextWeights struct {
+	Title, Abstract, Body, IndexTerms float64
+	Authors                           float64
+	References                        float64
+	// L0Weight and L1Weight combine the two author-overlap levels.
+	L0Weight, L1Weight float64
+	// BibWeight combines bibliographic coupling (BibWeight) with
+	// co-citation (1−BibWeight) into SimReferences.
+	BibWeight float64
+}
+
+// DefaultTextWeights returns the weights used by the experiments.
+func DefaultTextWeights() TextWeights {
+	return TextWeights{
+		Title: 0.15, Abstract: 0.20, Body: 0.20, IndexTerms: 0.10,
+		Authors: 0.15, References: 0.20,
+		L0Weight: 0.7, L1Weight: 0.3,
+		BibWeight: 0.5,
+	}
+}
+
+// TextScorer implements the text-based prestige function of §3.2: a paper's
+// prestige in a context is its weighted similarity to the context's
+// representative paper across title, abstract, body, index terms, authors
+// (level-0 and level-1 overlap) and references (bibliographic coupling +
+// co-citation).
+type TextScorer struct {
+	analyzer *corpus.Analyzer
+	graph    *citegraph.Graph
+	weights  TextWeights
+	coAuthor map[string][]corpus.PaperID
+
+	// RepSource optionally supplies representative papers from a different
+	// context set. The paper's §4 does exactly this: text scores are
+	// assigned to pattern-based-set contexts using the representatives
+	// defined by the text-based set.
+	RepSource *contextset.ContextSet
+}
+
+// NewTextScorer builds the scorer; the co-author index for level-1 overlap
+// is built eagerly.
+func NewTextScorer(a *corpus.Analyzer, weights TextWeights) *TextScorer {
+	return &TextScorer{
+		analyzer: a,
+		graph:    GraphFromCorpus(a.Corpus()),
+		weights:  weights,
+		coAuthor: a.CoAuthorIndex(),
+	}
+}
+
+// Name implements Scorer.
+func (s *TextScorer) Name() string { return "text" }
+
+// ScoreContext implements Scorer. Contexts without a representative paper
+// return nil (the paper assigns text scores only where representatives
+// exist).
+func (s *TextScorer) ScoreContext(cs *contextset.ContextSet, ctx ontology.TermID) map[corpus.PaperID]float64 {
+	repSrc := cs
+	if s.RepSource != nil {
+		repSrc = s.RepSource
+	}
+	rep, ok := repSrc.Representative(ctx)
+	if !ok {
+		return nil
+	}
+	papers := cs.Papers(ctx)
+	out := make(map[corpus.PaperID]float64, len(papers))
+	for _, p := range papers {
+		out[p] = s.Similarity(p, rep)
+	}
+	// No per-context max-normalisation: the weighted similarity is already
+	// in [0,1] (the weights sum to 1), and the paper's separability
+	// analysis depends on the raw distribution — upper-level contexts whose
+	// representatives characterise them poorly produce small clustered
+	// scores, which is exactly the Figure 5.5 effect.
+	return out
+}
+
+// Similarity computes the §3.2 weighted similarity between two papers.
+func (s *TextScorer) Similarity(p, rep corpus.PaperID) float64 {
+	if p == rep {
+		// The representative characterises the context by definition.
+		return 1
+	}
+	w := s.weights
+	sim := w.Title*s.sectionSim(p, rep, corpus.SecTitle) +
+		w.Abstract*s.sectionSim(p, rep, corpus.SecAbstract) +
+		w.Body*s.sectionSim(p, rep, corpus.SecBody) +
+		w.IndexTerms*s.sectionSim(p, rep, corpus.SecIndexTerms) +
+		w.Authors*s.AuthorSim(p, rep) +
+		w.References*s.ReferenceSim(p, rep)
+	return sim
+}
+
+func (s *TextScorer) sectionSim(p, q corpus.PaperID, sec corpus.Section) float64 {
+	return vector.CosineWithNorms(
+		s.analyzer.TFIDF(p, sec), s.analyzer.TFIDF(q, sec),
+		s.analyzer.TFIDFNorm(p, sec), s.analyzer.TFIDFNorm(q, sec))
+}
+
+// AuthorSim combines Level-0 overlap (shared authors, Jaccard) with Level-1
+// overlap (each paper's authors co-write a third paper), per [7].
+func (s *TextScorer) AuthorSim(p, q corpus.PaperID) float64 {
+	ap := s.analyzer.Features(p).Authors
+	aq := s.analyzer.Features(q).Authors
+	l0 := authorJaccard(ap, aq)
+	l1 := s.levelOneOverlap(p, q, ap, aq)
+	return s.weights.L0Weight*l0 + s.weights.L1Weight*l1
+}
+
+func authorJaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	inter := 0
+	for x := range small {
+		if large[x] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// levelOneOverlap counts third papers co-authored by an author of p and an
+// author of q, saturating at 3 such bridges.
+func (s *TextScorer) levelOneOverlap(p, q corpus.PaperID, ap, aq map[string]bool) float64 {
+	// Papers (other than p, q) with an author from p.
+	bridge := map[corpus.PaperID]bool{}
+	for a := range ap {
+		for _, z := range s.coAuthor[a] {
+			if z != p && z != q {
+				bridge[z] = true
+			}
+		}
+	}
+	n := 0
+	for z := range bridge {
+		az := s.analyzer.Features(z).Authors
+		for a := range aq {
+			if az[a] {
+				n++
+				break
+			}
+		}
+		if n >= 3 {
+			break
+		}
+	}
+	return float64(n) / 3
+}
+
+// ReferenceSim combines bibliographic coupling with co-citation, per [7]:
+// SimReferences = BibWeight·Simbib + (1−BibWeight)·Simcoc.
+func (s *TextScorer) ReferenceSim(p, q corpus.PaperID) float64 {
+	bib := s.graph.BibliographicCoupling(int(p), int(q))
+	coc := s.graph.CoCitation(int(p), int(q))
+	return s.weights.BibWeight*bib + (1-s.weights.BibWeight)*coc
+}

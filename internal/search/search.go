@@ -1,0 +1,334 @@
+// Package search implements tasks 3–5 of the context-based paradigm: locate
+// search contexts for a keyword query, search within the selected contexts,
+// and rank the merged results by relevancy
+//
+//	R(p, q, ci) = w_prestige·Prestige_Score(p, ci) + w_matching·Text_Matching_Score(p, q)
+//
+// plus the plain keyword-search baselines the paper compares against
+// (PubMed-style unranked listing and TF-IDF ranking over the whole corpus).
+package search
+
+import (
+	"sort"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+// Weights combine prestige and text-matching into the relevancy score.
+type Weights struct {
+	Prestige float64
+	Matching float64
+	// ContextWeighted multiplies the prestige term by the context's
+	// selection score before merging, so prestige earned in a weakly
+	// matching context cannot dominate the merged result list. The paper
+	// leaves the merge step unspecified; this is our resolution (disable
+	// for the literal R formula).
+	ContextWeighted bool
+}
+
+// DefaultWeights returns the relevancy weights used by the experiments.
+func DefaultWeights() Weights {
+	return Weights{Prestige: 0.5, Matching: 0.5, ContextWeighted: true}
+}
+
+// Options configure one search invocation.
+type Options struct {
+	// Threshold drops results with relevancy below it.
+	Threshold float64
+	// Limit caps the number of results (0 = unlimited); Offset skips the
+	// first N results (pagination).
+	Limit  int
+	Offset int
+	// MaxContexts caps how many contexts are selected for the query
+	// (0 = default 8).
+	MaxContexts int
+	// MinContextMatch is the minimum query↔term-name overlap for a context
+	// to be selected (0 = default 0.2).
+	MinContextMatch float64
+	// ExpandContexts additionally selects contexts semantically close (Lin
+	// similarity) to the best word-overlap match — users phrasing a concept
+	// without its exact term words still reach the right subtree.
+	ExpandContexts bool
+	// MinExpandSim is the Lin similarity floor for expansion (0 = 0.5).
+	MinExpandSim float64
+}
+
+// Result is one ranked search result.
+type Result struct {
+	Doc corpus.PaperID
+	// Relevancy is the combined score R(p, q, ci) maximised over the
+	// selected contexts containing the paper.
+	Relevancy float64
+	// Match and Prestige are the components at the maximising context;
+	// Prestige is the effective value (context-weighted when the engine's
+	// Weights.ContextWeighted is set).
+	Match    float64
+	Prestige float64
+	// Context is the maximising context.
+	Context ontology.TermID
+}
+
+// Engine is the context-based search engine. Construct with NewEngine after
+// prestige scores have been computed for the context set.
+type Engine struct {
+	ix      *index.Index
+	cs      *contextset.ContextSet
+	scores  prestige.Scores
+	weights Weights
+	// termTokens caches tokenized term names for context selection.
+	termTokens map[ontology.TermID][]string
+}
+
+// NewEngine assembles an engine from an index, a context paper set and the
+// prestige scores computed over it.
+func NewEngine(ix *index.Index, cs *contextset.ContextSet, scores prestige.Scores, w Weights) *Engine {
+	e := &Engine{
+		ix:         ix,
+		cs:         cs,
+		scores:     scores,
+		weights:    w,
+		termTokens: make(map[ontology.TermID][]string),
+	}
+	tok := ix.Analyzer().Tokenizer()
+	for ctx := range scores {
+		if t := cs.Ontology().Term(ctx); t != nil {
+			e.termTokens[ctx] = tok.Terms(t.Name)
+		}
+	}
+	return e
+}
+
+// ContextScore is a candidate context for a query.
+type ContextScore struct {
+	Context ontology.TermID
+	Score   float64
+}
+
+// SelectContexts implements task 3: rank scored contexts by the overlap of
+// the query words with the context term's name (Jaccard over stemmed
+// words), returning those above MinContextMatch, best first, capped at
+// MaxContexts.
+func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
+	maxCtx := opts.MaxContexts
+	if maxCtx <= 0 {
+		maxCtx = 8
+	}
+	minMatch := opts.MinContextMatch
+	if minMatch <= 0 {
+		minMatch = 0.2
+	}
+	qWords := e.ix.Analyzer().Tokenizer().Terms(query)
+	if len(qWords) == 0 {
+		return nil
+	}
+	qSet := make(map[string]bool, len(qWords))
+	for _, w := range qWords {
+		qSet[w] = true
+	}
+	var cands []ContextScore
+	for ctx, words := range e.termTokens {
+		inter := 0
+		seen := map[string]bool{}
+		for _, w := range words {
+			if qSet[w] && !seen[w] {
+				inter++
+				seen[w] = true
+			}
+		}
+		if inter == 0 {
+			continue
+		}
+		// Jaccard: |q ∩ name| / |q ∪ name| over distinct stemmed words.
+		distinctName := map[string]bool{}
+		for _, w := range words {
+			distinctName[w] = true
+		}
+		union := len(qSet) + len(distinctName) - inter
+		score := float64(inter) / float64(union)
+		if score >= minMatch {
+			cands = append(cands, ContextScore{ctx, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Context < cands[j].Context
+	})
+	if opts.ExpandContexts && len(cands) > 0 {
+		cands = e.expandSemantically(cands, opts)
+	}
+	if len(cands) > maxCtx {
+		cands = cands[:maxCtx]
+	}
+	return cands
+}
+
+// expandSemantically adds scored contexts semantically close to the best
+// word-overlap match, scored by Lin similarity damped below the anchor's
+// score so expansions never outrank direct matches.
+func (e *Engine) expandSemantically(cands []ContextScore, opts Options) []ContextScore {
+	minSim := opts.MinExpandSim
+	if minSim <= 0 {
+		minSim = 0.5
+	}
+	anchor := cands[0]
+	have := make(map[ontology.TermID]bool, len(cands))
+	for _, c := range cands {
+		have[c.Context] = true
+	}
+	onto := e.cs.Ontology()
+	var extra []ContextScore
+	for ctx := range e.termTokens {
+		if have[ctx] {
+			continue
+		}
+		if lin := onto.LinSimilarity(anchor.Context, ctx); lin >= minSim {
+			extra = append(extra, ContextScore{ctx, anchor.Score * lin * 0.9})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool {
+		if extra[i].Score != extra[j].Score {
+			return extra[i].Score > extra[j].Score
+		}
+		return extra[i].Context < extra[j].Context
+	})
+	out := append(cands, extra...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// Search implements tasks 4 and 5: keyword search inside each selected
+// context, relevancy scoring, and merging into a single ranked result set
+// (per paper, the maximising context wins).
+func (e *Engine) Search(query string, opts Options) []Result {
+	ctxs := e.SelectContexts(query, opts)
+	if len(ctxs) == 0 {
+		return nil
+	}
+	qv := e.ix.Analyzer().QueryVector(query)
+	best := make(map[corpus.PaperID]Result)
+	for _, cscore := range ctxs {
+		ctx := cscore.Context
+		within := e.cs.PaperSet(ctx)
+		hits := e.ix.SearchVector(qv, index.Options{Within: within})
+		for _, h := range hits {
+			p := e.scores.Get(ctx, h.Doc)
+			if e.weights.ContextWeighted {
+				p *= cscore.Score
+			}
+			r := e.weights.Prestige*p + e.weights.Matching*h.Score
+			if r < opts.Threshold {
+				continue
+			}
+			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
+				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
+			}
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relevancy != out[j].Relevancy {
+			return out[i].Relevancy > out[j].Relevancy
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if opts.Offset > 0 {
+		if opts.Offset >= len(out) {
+			return nil
+		}
+		out = out[opts.Offset:]
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out
+}
+
+// SearchBoolean runs a context-based search with a boolean query (the
+// index package's AND/OR/NOT/"phrase"/field:term language): context
+// selection and the text-matching score use the query's positive terms,
+// while the boolean structure filters candidates inside each selected
+// context. Returns an error for unparsable or purely negative queries.
+func (e *Engine) SearchBoolean(query string, opts Options) ([]Result, error) {
+	q, err := e.ix.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	ctxs := e.SelectContexts(query, opts)
+	if len(ctxs) == 0 {
+		return nil, nil
+	}
+	best := make(map[corpus.PaperID]Result)
+	for _, cscore := range ctxs {
+		ctx := cscore.Context
+		within := e.cs.PaperSet(ctx)
+		hits, err := e.ix.SearchQuery(q, index.Options{Within: within})
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			p := e.scores.Get(ctx, h.Doc)
+			if e.weights.ContextWeighted {
+				p *= cscore.Score
+			}
+			r := e.weights.Prestige*p + e.weights.Matching*h.Score
+			if r < opts.Threshold {
+				continue
+			}
+			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
+				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
+			}
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relevancy != out[j].Relevancy {
+			return out[i].Relevancy > out[j].Relevancy
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if opts.Offset > 0 {
+		if opts.Offset >= len(out) {
+			return nil, nil
+		}
+		out = out[opts.Offset:]
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out, nil
+}
+
+// BaselineTFIDF is the whole-corpus TF-IDF ranked keyword search (the
+// "simple text-based score" of ACM Portal / Google Scholar in the paper's
+// intro).
+func BaselineTFIDF(ix *index.Index, query string, threshold float64, limit int) []index.Hit {
+	return ix.Search(query, index.Options{Threshold: threshold, Limit: limit})
+}
+
+// BaselinePubMed mimics PubMed's behaviour in the paper's intro: all
+// keyword matches (any positive cosine), listed in descending PMID order —
+// no relevance ranking at all.
+func BaselinePubMed(ix *index.Index, query string) []corpus.PaperID {
+	hits := ix.Search(query, index.Options{})
+	out := make([]corpus.PaperID, len(hits))
+	for i, h := range hits {
+		out[i] = h.Doc
+	}
+	c := ix.Analyzer().Corpus()
+	sort.Slice(out, func(i, j int) bool {
+		return c.Paper(out[i]).PMID > c.Paper(out[j]).PMID
+	})
+	return out
+}

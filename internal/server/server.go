@@ -1,0 +1,229 @@
+// Package server exposes the context-based search engine over HTTP with a
+// small JSON API — the deployment shape the paper's system (a digital
+// library search service) implies:
+//
+//	GET /search?q=...&limit=N&threshold=T   ranked results
+//	GET /contexts?q=...                     selected contexts for a query
+//	GET /papers/{id}                        one paper with contexts & scores
+//	GET /stats                              corpus/context statistics
+//	GET /healthz                            liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ctxsearch"
+	"ctxsearch/internal/index"
+)
+
+// Server wires the search engine into an http.Handler.
+type Server struct {
+	sys    *ctxsearch.System
+	cs     *ctxsearch.ContextSet
+	scores ctxsearch.Scores
+	engine *ctxsearch.Engine
+	mux    *http.ServeMux
+}
+
+// New assembles the server.
+func New(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Scores) *Server {
+	s := &Server{
+		sys:    sys,
+		cs:     cs,
+		scores: scores,
+		engine: sys.Engine(cs, scores),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /contexts", s.handleContexts)
+	s.mux.HandleFunc("GET /papers/{id}", s.handlePaper)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query   string         `json:"query"`
+	Results []SearchResult `json:"results"`
+}
+
+// SearchResult is one /search row.
+type SearchResult struct {
+	PaperID     int     `json:"paper_id"`
+	PMID        int     `json:"pmid"`
+	Year        int     `json:"year"`
+	Title       string  `json:"title"`
+	Snippet     string  `json:"snippet"`
+	Relevancy   float64 `json:"relevancy"`
+	Prestige    float64 `json:"prestige"`
+	Match       float64 `json:"match"`
+	Context     string  `json:"context"`
+	ContextName string  `json:"context_name"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	opts := ctxsearch.SearchOptions{Limit: 20}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		opts.Limit = n
+	}
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || t < 0 || t > 1 {
+			writeErr(w, http.StatusBadRequest, "bad threshold %q", v)
+			return
+		}
+		opts.Threshold = t
+	}
+	resp := SearchResponse{Query: q, Results: []SearchResult{}}
+	for _, res := range s.engine.Search(q, opts) {
+		p := s.sys.Corpus.Paper(res.Doc)
+		resp.Results = append(resp.Results, SearchResult{
+			PaperID:     int(res.Doc),
+			PMID:        p.PMID,
+			Year:        p.Year,
+			Title:       p.Title,
+			Snippet:     s.sys.Index().Snippet(res.Doc, q, index.SnippetOptions{Window: 24, Pre: "**", Post: "**"}),
+			Relevancy:   res.Relevancy,
+			Prestige:    res.Prestige,
+			Match:       res.Match,
+			Context:     string(res.Context),
+			ContextName: s.sys.Ontology.Term(res.Context).Name,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ContextInfo is one /contexts row.
+type ContextInfo struct {
+	Term   string  `json:"term"`
+	Name   string  `json:"name"`
+	Level  int     `json:"level"`
+	Papers int     `json:"papers"`
+	Score  float64 `json:"score"`
+}
+
+func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	out := []ContextInfo{}
+	for _, sel := range s.engine.SelectContexts(q, ctxsearch.SearchOptions{}) {
+		t := s.sys.Ontology.Term(sel.Context)
+		out = append(out, ContextInfo{
+			Term:   string(sel.Context),
+			Name:   t.Name,
+			Level:  s.sys.Ontology.Level(sel.Context),
+			Papers: s.cs.Size(sel.Context),
+			Score:  sel.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// PaperResponse is the /papers/{id} payload.
+type PaperResponse struct {
+	PaperID    int            `json:"paper_id"`
+	PMID       int            `json:"pmid"`
+	Year       int            `json:"year"`
+	Title      string         `json:"title"`
+	Abstract   string         `json:"abstract"`
+	Authors    []string       `json:"authors"`
+	References []int          `json:"references"`
+	CitedBy    []int          `json:"cited_by"`
+	Contexts   []PaperContext `json:"contexts"`
+}
+
+// PaperContext is one context membership of a paper.
+type PaperContext struct {
+	Term     string  `json:"term"`
+	Name     string  `json:"name"`
+	Prestige float64 `json:"prestige"`
+}
+
+func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
+	idStr := r.PathValue("id")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad paper id %q", idStr)
+		return
+	}
+	p := s.sys.Corpus.Paper(ctxsearch.PaperID(id))
+	if p == nil {
+		writeErr(w, http.StatusNotFound, "no paper %d", id)
+		return
+	}
+	resp := PaperResponse{
+		PaperID:  int(p.ID),
+		PMID:     p.PMID,
+		Year:     p.Year,
+		Title:    p.Title,
+		Abstract: p.Abstract,
+		Authors:  p.Authors,
+	}
+	for _, ref := range p.References {
+		resp.References = append(resp.References, int(ref))
+	}
+	for _, c := range s.sys.Corpus.CitedBy(p.ID) {
+		resp.CitedBy = append(resp.CitedBy, int(c))
+	}
+	for _, ctx := range s.cs.ContextsOf(p.ID) {
+		resp.Contexts = append(resp.Contexts, PaperContext{
+			Term:     string(ctx),
+			Name:     s.sys.Ontology.Term(ctx).Name,
+			Prestige: s.scores.Get(ctx, p.ID),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Papers         int    `json:"papers"`
+	OntologyTerms  int    `json:"ontology_terms"`
+	Contexts       int    `json:"contexts"`
+	ScoredContexts int    `json:"scored_contexts"`
+	ContextSetKind string `json:"context_set_kind"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Papers:         s.sys.Corpus.Len(),
+		OntologyTerms:  s.sys.Ontology.Len(),
+		Contexts:       len(s.cs.Contexts()),
+		ScoredContexts: len(s.scores),
+		ContextSetKind: s.cs.Kind().String(),
+	})
+}

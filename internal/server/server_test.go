@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"ctxsearch"
+)
+
+var (
+	cachedServer *Server
+	cachedQuery  string
+)
+
+func testServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	if cachedServer != nil {
+		return cachedServer, cachedQuery
+	}
+	cfg := ctxsearch.DefaultConfig()
+	cfg.Papers = 200
+	cfg.OntologyTerms = 50
+	cfg.MaxDepth = 6
+	cfg.MinContextSize = 3
+	sys, err := ctxsearch.NewSyntheticSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := sys.BuildTextContextSet()
+	scores := sys.ScoreText(cs)
+	cachedServer = New(sys, cs, scores)
+	cachedQuery = sys.Ontology.Term(scores.Contexts()[0]).Name
+	return cachedServer, cachedQuery
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, query := testServer(t)
+	rec := get(t, s, "/search?q="+urlQuery(query)+"&limit=5")
+	if rec.Code != 200 {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || len(resp.Results) > 5 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	for _, r := range resp.Results {
+		if r.Title == "" || r.Context == "" || r.Relevancy <= 0 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s, query := testServer(t)
+	if rec := get(t, s, "/search"); rec.Code != 400 {
+		t.Fatalf("missing q = %d", rec.Code)
+	}
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&limit=zero"); rec.Code != 400 {
+		t.Fatalf("bad limit = %d", rec.Code)
+	}
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&threshold=2"); rec.Code != 400 {
+		t.Fatalf("bad threshold = %d", rec.Code)
+	}
+}
+
+func TestContextsEndpoint(t *testing.T) {
+	s, query := testServer(t)
+	rec := get(t, s, "/contexts?q="+urlQuery(query))
+	if rec.Code != 200 {
+		t.Fatalf("contexts = %d", rec.Code)
+	}
+	var infos []ContextInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("no contexts")
+	}
+	for _, ci := range infos {
+		if ci.Term == "" || ci.Name == "" || ci.Level < 2 || ci.Papers <= 0 {
+			t.Fatalf("bad context info %+v", ci)
+		}
+	}
+	if rec := get(t, s, "/contexts"); rec.Code != 400 {
+		t.Fatalf("missing q = %d", rec.Code)
+	}
+}
+
+func TestPaperEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/papers/0")
+	if rec.Code != 200 {
+		t.Fatalf("paper = %d", rec.Code)
+	}
+	var resp PaperResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Title == "" || len(resp.Authors) == 0 {
+		t.Fatalf("bad paper %+v", resp)
+	}
+	if rec := get(t, s, "/papers/999999"); rec.Code != 404 {
+		t.Fatalf("missing paper = %d", rec.Code)
+	}
+	if rec := get(t, s, "/papers/xyz"); rec.Code != 400 {
+		t.Fatalf("bad id = %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/stats")
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Papers != 200 || resp.OntologyTerms != 50 || resp.Contexts == 0 {
+		t.Fatalf("bad stats %+v", resp)
+	}
+	if resp.ContextSetKind != "text-based" {
+		t.Fatalf("kind = %q", resp.ContextSetKind)
+	}
+}
+
+// urlQuery escapes spaces for query strings without importing net/url in
+// every call site.
+func urlQuery(s string) string {
+	out := ""
+	for _, r := range s {
+		if r == ' ' {
+			out += "+"
+		} else {
+			out += fmt.Sprintf("%c", r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTruncatedStreams injects truncation at many byte offsets: Load must
+// return an error, never panic or silently succeed with partial state.
+func TestTruncatedStreams(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	offsets := []int{0, 1, 7, 64, len(full) / 4, len(full) / 2, len(full) - 1}
+	for _, off := range offsets {
+		if off >= len(full) {
+			continue
+		}
+		_, err := Load(bytes.NewReader(full[:off]), o)
+		if err == nil {
+			t.Fatalf("truncation at %d bytes loaded successfully", off)
+		}
+	}
+}
+
+// TestBitFlips corrupts single bytes across the stream: Load must either
+// error or produce a state that still passes basic invariants (gob can
+// absorb some payload flips into string content; structural invariants
+// must hold regardless).
+func TestBitFlips(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	step := len(full)/23 + 1
+	for off := 0; off < len(full); off += step {
+		corrupted := append([]byte(nil), full...)
+		corrupted[off] ^= 0xFF
+		got, err := Load(bytes.NewReader(corrupted), o)
+		if err != nil {
+			continue // rejected: fine
+		}
+		// Accepted: scores must still be structurally sound.
+		for fn, scores := range got.Scores {
+			for ctx, m := range scores {
+				for id, v := range m {
+					if v != v { // NaN
+						t.Fatalf("offset %d: NaN score for %s/%s/%d", off, fn, ctx, id)
+					}
+				}
+			}
+		}
+	}
+}

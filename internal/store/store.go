@@ -1,0 +1,103 @@
+// Package store persists the query-independent pre-processing artefacts of
+// the context-based search system — context paper sets and prestige scores
+// — so a deployment can run tasks 1–2 offline once and serve queries from
+// the saved state. The corpus and ontology persist through their own
+// packages (corpus gob store, ontology OBO writer); this package covers the
+// derived state.
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+// version guards the on-disk format.
+const version = 1
+
+// State bundles one context paper set with the prestige scores of any
+// number of score functions computed over it.
+type State struct {
+	ContextSet *contextset.ContextSet
+	// Scores maps score-function name ("text", "citation", "pattern", …)
+	// to its Scores.
+	Scores map[string]prestige.Scores
+}
+
+type header struct {
+	Magic   string
+	Version int
+}
+
+type payload struct {
+	Snapshot *contextset.Snapshot
+	Scores   map[string]prestige.Scores
+}
+
+// Save writes the state to w.
+func Save(w io.Writer, st *State) error {
+	if st == nil || st.ContextSet == nil {
+		return fmt.Errorf("store: nil state or context set")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: "ctxsearch-state", Version: version}); err != nil {
+		return fmt.Errorf("store: encoding header: %w", err)
+	}
+	if err := enc.Encode(payload{Snapshot: st.ContextSet.Snapshot(), Scores: st.Scores}); err != nil {
+		return fmt.Errorf("store: encoding payload: %w", err)
+	}
+	return nil
+}
+
+// Load reads a state previously written by Save, rebinding the context set
+// to the given ontology (which must be the one the state was built from).
+func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("store: decoding header: %w", err)
+	}
+	if h.Magic != "ctxsearch-state" {
+		return nil, fmt.Errorf("store: bad magic %q", h.Magic)
+	}
+	if h.Version != version {
+		return nil, fmt.Errorf("store: unsupported version %d (want %d)", h.Version, version)
+	}
+	var p payload
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decoding payload: %w", err)
+	}
+	cs, err := contextset.FromSnapshot(onto, p.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &State{ContextSet: cs, Scores: p.Scores}, nil
+}
+
+// SaveFile writes the state to path.
+func SaveFile(path string, st *State) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, st); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a state from path.
+func LoadFile(path string, onto *ontology.Ontology) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, onto)
+}

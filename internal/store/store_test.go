@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+func fixture(t *testing.T) (*ontology.Ontology, *State) {
+	t.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 9, NumTerms: 50, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	cs := contextset.BuildTextBased(a, o, contextset.DefaultConfig())
+	scores := map[string]prestige.Scores{
+		"text":     prestige.ScoreAll(prestige.NewTextScorer(a, prestige.DefaultTextWeights()), cs, 0),
+		"citation": prestige.ScoreAll(prestige.NewCitationScorer(c, citegraph.PageRankOpts{}), cs, 0),
+	}
+	return o, &State{ContextSet: cs, Scores: scores}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context set state preserved.
+	if got.ContextSet.Kind() != st.ContextSet.Kind() {
+		t.Fatal("kind lost")
+	}
+	wantCtxs := st.ContextSet.Contexts()
+	gotCtxs := got.ContextSet.Contexts()
+	if !reflect.DeepEqual(wantCtxs, gotCtxs) {
+		t.Fatalf("contexts differ: %d vs %d", len(wantCtxs), len(gotCtxs))
+	}
+	for _, ctx := range wantCtxs {
+		if !reflect.DeepEqual(st.ContextSet.Papers(ctx), got.ContextSet.Papers(ctx)) {
+			t.Fatalf("papers of %s differ", ctx)
+		}
+		wr, wok := st.ContextSet.Representative(ctx)
+		gr, gok := got.ContextSet.Representative(ctx)
+		if wok != gok || wr != gr {
+			t.Fatalf("representative of %s differs", ctx)
+		}
+		for _, p := range st.ContextSet.Papers(ctx) {
+			if st.ContextSet.AssignScore(ctx, p) != got.ContextSet.AssignScore(ctx, p) {
+				t.Fatalf("assign score of %d in %s differs", p, ctx)
+			}
+		}
+		if st.ContextSet.Decay(ctx) != got.ContextSet.Decay(ctx) {
+			t.Fatalf("decay of %s differs", ctx)
+		}
+	}
+	// Scores preserved exactly.
+	if !reflect.DeepEqual(st.Scores, got.Scores) {
+		t.Fatal("scores differ after round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	o, st := fixture(t)
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Scores) != len(st.Scores) {
+		t.Fatal("scores lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	o, st := fixture(t)
+	if _, err := Load(bytes.NewReader([]byte("junk")), o); err == nil {
+		t.Error("junk must fail")
+	}
+	if err := Save(bytes.NewBuffer(nil), nil); err == nil {
+		t.Error("nil state must fail")
+	}
+	// Snapshot bound to the wrong ontology must fail.
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	other := ontology.New()
+	_ = other.Add(ontology.Term{ID: "GO:X", Name: "alien"})
+	if err := other.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, other); err == nil {
+		t.Error("wrong ontology must fail")
+	}
+	if _, err := LoadFile("/nonexistent/state.gob", o); err == nil {
+		t.Error("missing file must fail")
+	}
+}

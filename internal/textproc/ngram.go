@@ -1,0 +1,84 @@
+package textproc
+
+import "strings"
+
+// NGrams returns all contiguous n-grams of the given length from tokens,
+// joined with single spaces. Returns nil when len(tokens) < n or n <= 0.
+func NGrams(tokens []string, n int) []string {
+	if n <= 0 || len(tokens) < n {
+		return nil
+	}
+	out := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		out = append(out, strings.Join(tokens[i:i+n], " "))
+	}
+	return out
+}
+
+// Phrase is an ordered word sequence with its occurrence positions in a
+// token stream. Positions index the first word of each occurrence.
+type Phrase struct {
+	Words  []string
+	Starts []int
+}
+
+// Key returns the canonical space-joined form of the phrase.
+func (p Phrase) Key() string { return strings.Join(p.Words, " ") }
+
+// FindPhrases locates every occurrence of each query phrase (given as
+// space-joined word sequences) in the token stream and returns the phrases
+// that occur at least once, with their start positions.
+func FindPhrases(tokens []string, phrases []string) []Phrase {
+	if len(tokens) == 0 || len(phrases) == 0 {
+		return nil
+	}
+	// Index first words for quick candidate lookup.
+	firstIdx := make(map[string][]int)
+	for i, t := range tokens {
+		firstIdx[t] = append(firstIdx[t], i)
+	}
+	var out []Phrase
+	for _, ph := range phrases {
+		words := strings.Fields(ph)
+		if len(words) == 0 {
+			continue
+		}
+		var starts []int
+		for _, i := range firstIdx[words[0]] {
+			if i+len(words) > len(tokens) {
+				continue
+			}
+			match := true
+			for j := 1; j < len(words); j++ {
+				if tokens[i+j] != words[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				starts = append(starts, i)
+			}
+		}
+		if len(starts) > 0 {
+			out = append(out, Phrase{Words: words, Starts: starts})
+		}
+	}
+	return out
+}
+
+// WindowAround returns up to w tokens on each side of the span
+// [start, start+length) in tokens, as (left, right) slices. The returned
+// slices are copies and safe to retain.
+func WindowAround(tokens []string, start, length, w int) (left, right []string) {
+	lo := start - w
+	if lo < 0 {
+		lo = 0
+	}
+	hi := start + length + w
+	if hi > len(tokens) {
+		hi = len(tokens)
+	}
+	left = append([]string(nil), tokens[lo:start]...)
+	right = append([]string(nil), tokens[start+length:hi]...)
+	return left, right
+}

@@ -1,0 +1,82 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNGrams(t *testing.T) {
+	toks := []string{"rna", "polymerase", "ii", "activity"}
+	if got := NGrams(toks, 2); !reflect.DeepEqual(got, []string{"rna polymerase", "polymerase ii", "ii activity"}) {
+		t.Errorf("bigrams = %v", got)
+	}
+	if got := NGrams(toks, 4); !reflect.DeepEqual(got, []string{"rna polymerase ii activity"}) {
+		t.Errorf("4-grams = %v", got)
+	}
+	if got := NGrams(toks, 5); got != nil {
+		t.Errorf("oversize n should return nil, got %v", got)
+	}
+	if got := NGrams(toks, 0); got != nil {
+		t.Errorf("n=0 should return nil, got %v", got)
+	}
+}
+
+func TestNGramsCountProperty(t *testing.T) {
+	f := func(words []string, n uint8) bool {
+		k := int(n%5) + 1
+		got := NGrams(words, k)
+		want := len(words) - k + 1
+		if want < 0 {
+			want = 0
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindPhrases(t *testing.T) {
+	toks := strings.Fields("the rna polymerase ii transcription factor binds rna polymerase ii")
+	got := FindPhrases(toks, []string{"rna polymerase ii", "transcription factor", "absent phrase"})
+	if len(got) != 2 {
+		t.Fatalf("found %d phrases, want 2: %v", len(got), got)
+	}
+	if got[0].Key() != "rna polymerase ii" || !reflect.DeepEqual(got[0].Starts, []int{1, 7}) {
+		t.Errorf("phrase 0 = %+v", got[0])
+	}
+	if got[1].Key() != "transcription factor" || !reflect.DeepEqual(got[1].Starts, []int{4}) {
+		t.Errorf("phrase 1 = %+v", got[1])
+	}
+}
+
+func TestFindPhrasesEmpty(t *testing.T) {
+	if got := FindPhrases(nil, []string{"x"}); got != nil {
+		t.Errorf("nil tokens: %v", got)
+	}
+	if got := FindPhrases([]string{"x"}, nil); got != nil {
+		t.Errorf("nil phrases: %v", got)
+	}
+	if got := FindPhrases([]string{"x"}, []string{""}); got != nil {
+		t.Errorf("empty phrase: %v", got)
+	}
+}
+
+func TestWindowAround(t *testing.T) {
+	toks := strings.Fields("a b c d e f g")
+	l, r := WindowAround(toks, 3, 1, 2)
+	if !reflect.DeepEqual(l, []string{"b", "c"}) || !reflect.DeepEqual(r, []string{"e", "f"}) {
+		t.Errorf("window = %v | %v", l, r)
+	}
+	// clipped at boundaries
+	l, r = WindowAround(toks, 0, 2, 3)
+	if len(l) != 0 || !reflect.DeepEqual(r, []string{"c", "d", "e"}) {
+		t.Errorf("clipped window = %v | %v", l, r)
+	}
+	l, r = WindowAround(toks, 6, 1, 3)
+	if !reflect.DeepEqual(l, []string{"d", "e", "f"}) || len(r) != 0 {
+		t.Errorf("tail window = %v | %v", l, r)
+	}
+}

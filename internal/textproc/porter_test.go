@@ -1,0 +1,172 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Classic vocabulary pairs from Porter's published examples plus
+// domain-relevant words.
+func TestPorterVocabulary(t *testing.T) {
+	ps := NewPorterStemmer()
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// domain words
+		"transcription": "transcript",
+		"regulation":    "regul",
+		"binding":       "bind",
+		"genes":         "gene",
+		"ontology":      "ontolog",
+		"citations":     "citat",
+	}
+	for in, want := range cases {
+		if got := ps.Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterShortWords(t *testing.T) {
+	ps := NewPorterStemmer()
+	for _, w := range []string{"", "a", "is", "go"} {
+		if got := ps.Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestPorterNonASCIIUnchanged(t *testing.T) {
+	ps := NewPorterStemmer()
+	for _, w := range []string{"naïve", "café", "co-citation", "GENE", "p53a"} {
+		if got := ps.Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Property: stemming is deterministic and never lengthens a word. (Porter is
+// deliberately NOT idempotent — e.g. "agree"→"agre"→"agr" — so we do not
+// assert that.)
+func TestPorterProperties(t *testing.T) {
+	ps := NewPorterStemmer()
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			w = append(w, 'a'+c%26)
+		}
+		s := ps.Stem(string(w))
+		if len(s) > len(w) {
+			return false
+		}
+		return ps.Stem(string(w)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The canonical non-idempotence example, pinned so refactors don't silently
+// change behaviour.
+func TestPorterNotIdempotent(t *testing.T) {
+	ps := NewPorterStemmer()
+	if s := ps.Stem("agreed"); s != "agre" {
+		t.Fatalf("Stem(agreed) = %q", s)
+	}
+	if s := ps.Stem("agre"); s != "agr" {
+		t.Fatalf("Stem(agre) = %q", s)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for w, want := range cases {
+		if got := measure([]byte(w), len(w)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", w, got, want)
+		}
+	}
+}

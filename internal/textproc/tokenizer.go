@@ -1,0 +1,130 @@
+// Package textproc provides the text-processing substrate used throughout
+// the context-based search system: tokenization, stopword filtering, a full
+// Porter stemmer, and n-gram (phrase) extraction.
+//
+// All ranking functions in the paper operate on term statistics produced by
+// this package, so its behaviour is deliberately deterministic and
+// dependency-free.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single processed token with its position in the source text.
+// Positions are token offsets (0-based), not byte offsets; pattern matching
+// uses them to recover word adjacency.
+type Token struct {
+	// Text is the normalised (lowercased, stemmed if requested) token text.
+	Text string
+	// Pos is the 0-based token position within the tokenized text.
+	Pos int
+}
+
+// Tokenizer converts raw text into normalised tokens. The zero value is not
+// usable; construct with NewTokenizer.
+type Tokenizer struct {
+	stem      bool
+	dropStops bool
+	minLen    int
+	stemmer   *PorterStemmer
+	stops     map[string]struct{}
+}
+
+// TokenizerOption configures a Tokenizer.
+type TokenizerOption func(*Tokenizer)
+
+// WithStemming enables Porter stemming of each token.
+func WithStemming() TokenizerOption { return func(t *Tokenizer) { t.stem = true } }
+
+// WithStopwords enables dropping of English stopwords.
+func WithStopwords() TokenizerOption { return func(t *Tokenizer) { t.dropStops = true } }
+
+// WithMinLength drops tokens shorter than n runes (after normalisation).
+func WithMinLength(n int) TokenizerOption { return func(t *Tokenizer) { t.minLen = n } }
+
+// NewTokenizer returns a Tokenizer with the given options applied. With no
+// options it lowercases and splits on non-alphanumeric boundaries only.
+func NewTokenizer(opts ...TokenizerOption) *Tokenizer {
+	t := &Tokenizer{minLen: 1, stemmer: NewPorterStemmer(), stops: stopwordSet}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Tokenize splits text into normalised tokens. Hyphenated compounds are kept
+// together when both sides are alphabetic ("co-citation" → "co-citation"),
+// matching how biomedical index terms are written; all other punctuation
+// splits. Positions count every emitted token.
+func (t *Tokenizer) Tokenize(text string) []Token {
+	raw := splitWords(text)
+	out := make([]Token, 0, len(raw))
+	pos := 0
+	for _, w := range raw {
+		w = strings.ToLower(w)
+		if t.dropStops {
+			if _, stop := t.stops[w]; stop {
+				continue
+			}
+		}
+		if t.stem {
+			w = t.stemmer.Stem(w)
+		}
+		if len([]rune(w)) < t.minLen {
+			continue
+		}
+		out = append(out, Token{Text: w, Pos: pos})
+		pos++
+	}
+	return out
+}
+
+// Terms is a convenience wrapper returning only the token strings.
+func (t *Tokenizer) Terms(text string) []string {
+	toks := t.Tokenize(text)
+	out := make([]string, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Text
+	}
+	return out
+}
+
+// splitWords performs the raw lexical split: maximal runs of letters/digits,
+// with single interior hyphens between letters preserved.
+func splitWords(text string) []string {
+	var words []string
+	runes := []rune(text)
+	n := len(runes)
+	start := -1
+	flush := func(end int) {
+		if start >= 0 && end > start {
+			words = append(words, string(runes[start:end]))
+		}
+		start = -1
+	}
+	isWord := func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) }
+	for i := 0; i < n; i++ {
+		r := runes[i]
+		switch {
+		case isWord(r):
+			if start < 0 {
+				start = i
+			}
+		case r == '-' && start >= 0 && i+1 < n && unicode.IsLetter(runes[i+1]) && unicode.IsLetter(runes[i-1]):
+			// keep interior hyphen
+		default:
+			flush(i)
+		}
+	}
+	flush(n)
+	return words
+}
+
+// IsStopword reports whether w (already lowercased) is in the built-in
+// English stopword list.
+func IsStopword(w string) bool {
+	_, ok := stopwordSet[w]
+	return ok
+}

@@ -1,0 +1,53 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomVec(rng *rand.Rand, n int) Sparse {
+	v := New()
+	for i := 0; i < n; i++ {
+		v[fmt.Sprintf("t%04d", rng.Intn(2000))] = rng.Float64()
+	}
+	return v
+}
+
+func BenchmarkCosine(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u := randomVec(rng, 400)
+	v := randomVec(rng, 400)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Cosine(u, v)
+	}
+}
+
+func BenchmarkCentroid(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	vs := make([]Sparse, 40)
+	for i := range vs {
+		vs[i] = randomVec(rng, 300)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Centroid(vs)
+	}
+}
+
+func BenchmarkTFIDFWeight(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	df := NewDF()
+	for i := 0; i < 500; i++ {
+		df.AddDoc(randomVec(rng, 200))
+	}
+	doc := randomVec(rng, 400)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = df.Weight(doc)
+	}
+}

@@ -1,0 +1,29 @@
+package vector_test
+
+import (
+	"fmt"
+
+	"ctxsearch/internal/vector"
+)
+
+func ExampleCosine() {
+	a := vector.FromTerms([]string{"rna", "polymerase", "rna"})
+	b := vector.FromTerms([]string{"rna", "polymerase"})
+	fmt.Printf("%.3f\n", vector.Cosine(a, a))
+	fmt.Printf("%.3f\n", vector.Cosine(a, vector.FromTerms([]string{"steel"})))
+	_ = b
+	// Output:
+	// 1.000
+	// 0.000
+}
+
+func ExampleDF_Weight() {
+	df := vector.NewDF()
+	df.AddDoc(vector.FromTerms([]string{"rna", "common"}))
+	df.AddDoc(vector.FromTerms([]string{"dna", "common"}))
+	df.AddDoc(vector.FromTerms([]string{"common"}))
+	w := df.Weight(vector.FromTerms([]string{"rna", "common"}))
+	// Rare terms outweigh ubiquitous ones.
+	fmt.Println(w["rna"] > w["common"])
+	// Output: true
+}

@@ -1,0 +1,52 @@
+package vector
+
+import "math"
+
+// DF holds corpus document frequencies for TF-IDF weighting. Build one with
+// NewDF and feed it every document's term support once.
+type DF struct {
+	docs int
+	df   map[string]int
+}
+
+// NewDF returns an empty document-frequency table.
+func NewDF() *DF { return &DF{df: make(map[string]int)} }
+
+// AddDoc records one document's term support (each distinct term counted
+// once, regardless of its in-document frequency).
+func (d *DF) AddDoc(terms Sparse) {
+	d.docs++
+	for t := range terms {
+		d.df[t]++
+	}
+}
+
+// Docs returns the number of documents recorded.
+func (d *DF) Docs() int { return d.docs }
+
+// Freq returns the document frequency of term t.
+func (d *DF) Freq(t string) int { return d.df[t] }
+
+// IDF returns the smoothed inverse document frequency
+// log(1 + N/df(t)); terms never seen get the maximal IDF log(1+N).
+func (d *DF) IDF(t string) float64 {
+	df := d.df[t]
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + float64(d.docs)/float64(df))
+}
+
+// Weight converts a raw term-frequency vector into a TF-IDF vector using
+// logarithmic term-frequency damping: w = (1 + ln tf) · idf. The input is
+// not modified.
+func (d *DF) Weight(tf Sparse) Sparse {
+	out := make(Sparse, len(tf))
+	for t, f := range tf {
+		if f <= 0 {
+			continue
+		}
+		out[t] = (1 + math.Log(f)) * d.IDF(t)
+	}
+	return out
+}

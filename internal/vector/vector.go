@@ -1,0 +1,170 @@
+// Package vector implements the sparse-vector TF-IDF model used by every
+// text-similarity computation in the system: section similarities for the
+// text-based prestige function, query/paper matching scores, centroid-based
+// AC-answer-set expansion, and representative-paper selection.
+package vector
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// Sparse is a sparse real-valued vector keyed by term. The zero value is an
+// empty vector ready for use via the constructor; nil maps are handled by
+// all methods.
+type Sparse map[string]float64
+
+// New returns an empty sparse vector.
+func New() Sparse { return make(Sparse) }
+
+// FromTerms builds a raw term-frequency vector from a token stream.
+func FromTerms(terms []string) Sparse {
+	v := make(Sparse, len(terms))
+	for _, t := range terms {
+		v[t]++
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Sparse) Clone() Sparse {
+	out := make(Sparse, len(v))
+	for k, x := range v {
+		out[k] = x
+	}
+	return out
+}
+
+// Add accumulates u into v in place and returns v.
+func (v Sparse) Add(u Sparse) Sparse {
+	for k, x := range u {
+		v[k] += x
+	}
+	return v
+}
+
+// Scale multiplies every component by a in place and returns v.
+func (v Sparse) Scale(a float64) Sparse {
+	for k := range v {
+		v[k] *= a
+	}
+	return v
+}
+
+// Dot returns the inner product of v and u. The products are summed in
+// sorted order so the result is bit-for-bit deterministic despite Go's
+// randomised map iteration (floating-point addition is not associative;
+// without this, identical inputs could differ in the last ulp between
+// runs, breaking reproducibility guarantees downstream).
+func (v Sparse) Dot(u Sparse) float64 {
+	// Iterate over the smaller vector.
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	prods := make([]float64, 0, len(v))
+	for k, x := range v {
+		if y, ok := u[k]; ok {
+			prods = append(prods, x*y)
+		}
+	}
+	return sumSorted(prods)
+}
+
+// Norm returns the Euclidean norm of v, deterministically (see Dot).
+func (v Sparse) Norm() float64 {
+	prods := make([]float64, 0, len(v))
+	for _, x := range v {
+		prods = append(prods, x*x)
+	}
+	return math.Sqrt(sumSorted(prods))
+}
+
+// sumSorted sums values in ascending order — a deterministic and
+// numerically favourable accumulation order.
+func sumSorted(xs []float64) float64 {
+	slices.Sort(xs)
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity between v and u in [0,1] for
+// non-negative vectors; 0 when either vector is empty or zero.
+func Cosine(v, u Sparse) float64 {
+	return CosineWithNorms(v, u, v.Norm(), u.Norm())
+}
+
+// CosineWithNorms is Cosine with precomputed norms — the hot-path variant
+// for callers that compare one vector against many (norm computation would
+// otherwise dominate).
+func CosineWithNorms(v, u Sparse, nv, nu float64) float64 {
+	if nv == 0 || nu == 0 {
+		return 0
+	}
+	return v.Dot(u) / (nv * nu)
+}
+
+// Jaccard returns |supp(v) ∩ supp(u)| / |supp(v) ∪ supp(u)| over the term
+// supports, ignoring weights; 0 when both are empty.
+func Jaccard(v, u Sparse) float64 {
+	if len(v) == 0 && len(u) == 0 {
+		return 0
+	}
+	if len(u) < len(v) {
+		v, u = u, v
+	}
+	inter := 0
+	for k := range v {
+		if _, ok := u[k]; ok {
+			inter++
+		}
+	}
+	union := len(v) + len(u) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Centroid returns the arithmetic mean of the given vectors; nil if the
+// input is empty.
+func Centroid(vs []Sparse) Sparse {
+	if len(vs) == 0 {
+		return nil
+	}
+	c := New()
+	for _, v := range vs {
+		c.Add(v)
+	}
+	return c.Scale(1 / float64(len(vs)))
+}
+
+// TopTerms returns the k highest-weighted terms of v in descending weight
+// order, ties broken lexicographically for determinism.
+func (v Sparse) TopTerms(k int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(v))
+	for t, w := range v {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
