@@ -1,0 +1,31 @@
+# Developer entry points. `make verify` is the tier-1 gate every PR must
+# keep green; it includes a -race pass over the parallelized query path
+# (internal/search fans per-context scoring over a worker pool and
+# internal/index pools accumulators across goroutines).
+
+GO ?= go
+
+.PHONY: verify build test vet race bench bench-query
+
+verify: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/search/... ./internal/index/...
+
+# Full benchmark suite (figures + query path).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Just the query-path benchmarks behind BENCH_PR1.json.
+bench-query:
+	$(GO) test -run xxx -bench 'BenchmarkSelectContexts|BenchmarkEngineSearch' -benchmem ./internal/search/
+	$(GO) test -run xxx -bench 'BenchmarkIndexSearchVector' -benchmem ./internal/index/

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/pattern"
@@ -93,6 +94,11 @@ type ContextSet struct {
 	decay map[ontology.TermID]float64
 	// inheritedFrom[ctx] is set when ctx's paper set came from an ancestor.
 	inheritedFrom map[ontology.TermID]ontology.TermID
+
+	// bitsets lazily caches each context's paper set as a bitmap — the
+	// O(1)-membership representation the query hot path filters with.
+	bitsetMu sync.Mutex
+	bitsets  map[ontology.TermID]bitset.Set
 }
 
 func newContextSet(kind Kind, onto *ontology.Ontology) *ContextSet {
@@ -157,6 +163,27 @@ func (cs *ContextSet) PaperSet(ctx ontology.TermID) map[corpus.PaperID]bool {
 		out[id] = true
 	}
 	return out
+}
+
+// PaperBitset returns the membership of a context as a bitmap over paper
+// IDs. The set is computed once per context, cached, and shared: callers
+// must not modify it (union into a fresh set with bitset.Clone/UnionWith).
+// Safe for concurrent use.
+func (cs *ContextSet) PaperBitset(ctx ontology.TermID) bitset.Set {
+	cs.bitsetMu.Lock()
+	defer cs.bitsetMu.Unlock()
+	if cs.bitsets == nil {
+		cs.bitsets = make(map[ontology.TermID]bitset.Set)
+	}
+	if b, ok := cs.bitsets[ctx]; ok {
+		return b
+	}
+	var b bitset.Set
+	for id := range cs.members[ctx] {
+		b.Add(int(id))
+	}
+	cs.bitsets[ctx] = b
+	return b
 }
 
 // Size returns the number of papers in a context.

@@ -31,6 +31,21 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexSearchVector measures the raw accumulator hot path of
+// SearchVector (query vector pre-built, no tokenisation) at the
+// experiments.BenchScale() corpus size of 400 papers.
+func BenchmarkIndexSearchVector(b *testing.B) {
+	ix := benchIndex(b)
+	qv := ix.Analyzer().QueryVector("regulation of rna transcription factor binding")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(ix.SearchVector(qv, Options{})) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
 func BenchmarkSearch(b *testing.B) {
 	ix := benchIndex(b)
 	b.ResetTimer()

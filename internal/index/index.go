@@ -2,20 +2,25 @@
 // Both the plain PubMed-style baseline and the per-context searches of the
 // context-based engine run on it; the AC-answer-set construction uses its
 // high-threshold mode to seed answer sets.
+//
+// The index is laid out for query throughput: terms are interned to dense
+// integer IDs at Build time and postings live in flat CSR-style arrays (one
+// offsets array plus packed doc/weight columns), so a query walks
+// contiguous memory instead of chasing map buckets. Scoring accumulates
+// into a pooled dense array indexed by document ID rather than a
+// map[PaperID]float64. Term IDs are assigned in lexicographic term order,
+// which keeps the floating-point accumulation order — and therefore every
+// score, bit for bit — identical to sorting the query's term strings.
 package index
 
 import (
 	"sort"
+	"sync"
 
+	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/vector"
 )
-
-// posting is one document entry in a term's posting list.
-type posting struct {
-	doc    corpus.PaperID
-	weight float64 // TF-IDF weight of the term in the document
-}
 
 // Hit is one search result.
 type Hit struct {
@@ -29,33 +34,121 @@ type Hit struct {
 // vectors. Construct with Build.
 type Index struct {
 	analyzer *corpus.Analyzer
-	postings map[string][]posting
-	norms    []float64
+	// termIDs interns term strings to dense IDs; IDs follow lexicographic
+	// term order so numeric ID order equals sorted-string order.
+	termIDs map[string]int32
+	// CSR postings: the postings of term t are docs[offsets[t]:offsets[t+1]]
+	// and weights[offsets[t]:offsets[t+1]], sorted by ascending doc ID.
+	offsets []int32
+	docs    []corpus.PaperID
+	weights []float64
+	norms   []float64
+	// accPool recycles dense score accumulators across searches.
+	accPool sync.Pool
+}
+
+// accum is a reusable dense scoring scratchpad: val holds partial dot
+// products indexed by doc, seen marks touched docs, touched lists them so
+// reset is O(hits) not O(corpus).
+type accum struct {
+	val     []float64
+	seen    []bool
+	touched []corpus.PaperID
 }
 
 // Build constructs the index from an analysed corpus.
 func Build(a *corpus.Analyzer) *Index {
+	c := a.Corpus()
+	n := c.Len()
 	ix := &Index{
 		analyzer: a,
-		postings: make(map[string][]posting),
-		norms:    make([]float64, a.Corpus().Len()),
+		norms:    make([]float64, n),
 	}
-	for _, p := range a.Corpus().Papers() {
+
+	// Pass 1: term universe and per-term posting counts.
+	counts := make(map[string]int32)
+	papers := append([]*corpus.Paper(nil), c.Papers()...)
+	sort.Slice(papers, func(i, j int) bool { return papers[i].ID < papers[j].ID })
+	total := 0
+	for _, p := range papers {
 		w := a.TFIDFAll(p.ID)
 		ix.norms[p.ID] = w.Norm()
-		for term, weight := range w {
-			ix.postings[term] = append(ix.postings[term], posting{p.ID, weight})
+		for term := range w {
+			counts[term]++
+			total++
 		}
 	}
-	for term := range ix.postings {
-		pl := ix.postings[term]
-		sort.Slice(pl, func(i, j int) bool { return pl[i].doc < pl[j].doc })
+
+	// Intern: IDs in lexicographic term order.
+	terms := make([]string, 0, len(counts))
+	for term := range counts {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	ix.termIDs = make(map[string]int32, len(terms))
+	ix.offsets = make([]int32, len(terms)+1)
+	for i, term := range terms {
+		ix.termIDs[term] = int32(i)
+		ix.offsets[i+1] = ix.offsets[i] + counts[term]
+	}
+
+	// Pass 2: fill the packed columns. Visiting papers in ascending ID
+	// order leaves every term's posting run sorted by doc with no per-term
+	// sort.
+	ix.docs = make([]corpus.PaperID, total)
+	ix.weights = make([]float64, total)
+	next := make([]int32, len(terms))
+	copy(next, ix.offsets[:len(terms)])
+	for _, p := range papers {
+		for term, weight := range a.TFIDFAll(p.ID) {
+			t := ix.termIDs[term]
+			slot := next[t]
+			ix.docs[slot] = p.ID
+			ix.weights[slot] = weight
+			next[t] = slot + 1
+		}
+	}
+
+	ix.accPool.New = func() any {
+		return &accum{val: make([]float64, n), seen: make([]bool, n)}
 	}
 	return ix
 }
 
+// postingsOf returns the CSR run of one interned term.
+func (ix *Index) postingsOf(t int32) ([]corpus.PaperID, []float64) {
+	lo, hi := ix.offsets[t], ix.offsets[t+1]
+	return ix.docs[lo:hi], ix.weights[lo:hi]
+}
+
+// termPostings returns the postings of a term string (nil slices when the
+// term is not indexed).
+func (ix *Index) termPostings(term string) ([]corpus.PaperID, []float64) {
+	t, ok := ix.termIDs[term]
+	if !ok {
+		return nil, nil
+	}
+	return ix.postingsOf(t)
+}
+
+// getAccum leases a clean dense accumulator sized to the corpus.
+func (ix *Index) getAccum() *accum {
+	return ix.accPool.Get().(*accum)
+}
+
+// putAccum resets only the touched slots and returns the accumulator to
+// the pool.
+func (ix *Index) putAccum(a *accum) {
+	for _, d := range a.touched {
+		a.val[d] = 0
+		a.seen[d] = false
+	}
+	a.touched = a.touched[:0]
+	ix.accPool.Put(a)
+}
+
 // Terms returns the number of distinct indexed terms.
-func (ix *Index) Terms() int { return len(ix.postings) }
+func (ix *Index) Terms() int { return len(ix.offsets) - 1 }
 
 // Analyzer returns the analyzer the index was built from.
 func (ix *Index) Analyzer() *corpus.Analyzer { return ix.analyzer }
@@ -68,13 +161,52 @@ type Options struct {
 	Limit int
 	// Within restricts the search to the given document set (nil = all).
 	Within map[corpus.PaperID]bool
+	// WithinSet restricts the search to the documents of a bitset (nil =
+	// all) — the fast path for context-restricted searches. When both
+	// WithinSet and Within are given, WithinSet wins.
+	WithinSet bitset.Set
 }
+
+// allows reports whether a doc passes the Within/WithinSet restriction.
+func (o *Options) allows(doc corpus.PaperID) bool {
+	if o.WithinSet != nil {
+		return o.WithinSet.Contains(int(doc))
+	}
+	if o.Within != nil {
+		return o.Within[doc]
+	}
+	return true
+}
+
+// restricted reports whether any document restriction is set.
+func (o *Options) restricted() bool { return o.WithinSet != nil || o.Within != nil }
 
 // Search runs a free-text query and returns hits sorted by descending
 // score, ties broken by ascending document ID.
 func (ix *Index) Search(query string, opts Options) []Hit {
 	qv := ix.analyzer.QueryVector(query)
 	return ix.SearchVector(qv, opts)
+}
+
+// queryTerm is one resolved query term: interned ID plus query weight.
+type queryTerm struct {
+	id int32
+	w  float64
+}
+
+// resolveQuery interns the query vector's terms, dropping unindexed ones
+// (they have no postings, hence no contribution), sorted by term ID —
+// lexicographic term order, so accumulation order matches the historical
+// sort.Strings order bit for bit.
+func (ix *Index) resolveQuery(qv vector.Sparse) []queryTerm {
+	qts := make([]queryTerm, 0, len(qv))
+	for term, w := range qv {
+		if id, ok := ix.termIDs[term]; ok {
+			qts = append(qts, queryTerm{id, w})
+		}
+	}
+	sort.Slice(qts, func(i, j int) bool { return qts[i].id < qts[j].id })
+	return qts
 }
 
 // SearchVector searches with a pre-built query vector (used by expansion
@@ -84,41 +216,36 @@ func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
 	if qn == 0 {
 		return nil
 	}
-	// Accumulate in sorted term order: floating-point addition is not
-	// associative, and map-order accumulation would make scores differ in
-	// the last ulp between identical searches.
-	terms := make([]string, 0, len(qv))
-	for term := range qv {
-		terms = append(terms, term)
-	}
-	sort.Strings(terms)
-	acc := make(map[corpus.PaperID]float64)
-	for _, term := range terms {
-		qw := qv[term]
-		for _, pst := range ix.postings[term] {
-			if opts.Within != nil && !opts.Within[pst.doc] {
+	qts := ix.resolveQuery(qv)
+	acc := ix.getAccum()
+	defer ix.putAccum(acc)
+	restricted := opts.restricted()
+	for _, qt := range qts {
+		qw := qt.w
+		docs, ws := ix.postingsOf(qt.id)
+		for i, doc := range docs {
+			if restricted && !opts.allows(doc) {
 				continue
 			}
-			acc[pst.doc] += qw * pst.weight
+			if !acc.seen[doc] {
+				acc.seen[doc] = true
+				acc.touched = append(acc.touched, doc)
+			}
+			acc.val[doc] += qw * ws[i]
 		}
 	}
-	hits := make([]Hit, 0, len(acc))
-	for doc, dot := range acc {
+	hits := make([]Hit, 0, len(acc.touched))
+	for _, doc := range acc.touched {
 		dn := ix.norms[doc]
 		if dn == 0 {
 			continue
 		}
-		score := dot / (qn * dn)
+		score := acc.val[doc] / (qn * dn)
 		if score >= opts.Threshold && score > 0 {
 			hits = append(hits, Hit{doc, score})
 		}
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Doc < hits[j].Doc
-	})
+	sortHits(hits)
 	if opts.Limit > 0 && len(hits) > opts.Limit {
 		hits = hits[:opts.Limit]
 	}

@@ -3,6 +3,7 @@ package index
 import (
 	"testing"
 
+	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/vector"
@@ -146,5 +147,57 @@ func TestIndexOnGeneratedCorpus(t *testing.T) {
 	}
 	if good*2 < checked {
 		t.Fatalf("top hit matched the queried topic for only %d/%d terms", good, checked)
+	}
+}
+
+// TestWithinBitsetMatchesMap asserts the bitset restriction (WithinSet)
+// returns exactly the hits of the historical map restriction (Within) —
+// the equivalence the context engine's single-pass search relies on.
+func TestWithinBitsetMatchesMap(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	within := map[corpus.PaperID]bool{0: true, 2: true}
+	var bs bitset.Set
+	for id := range within {
+		bs.Add(int(id))
+	}
+	for _, q := range []string{"rna polymerase transcription", "dna repair", "rna splicing", "corrosion"} {
+		mapHits := ix.Search(q, Options{Within: within})
+		bsHits := ix.Search(q, Options{WithinSet: bs})
+		if len(mapHits) != len(bsHits) {
+			t.Fatalf("query %q: map %v vs bitset %v", q, mapHits, bsHits)
+		}
+		for i := range mapHits {
+			if mapHits[i] != bsHits[i] {
+				t.Fatalf("query %q hit %d: map %v vs bitset %v", q, i, mapHits[i], bsHits[i])
+			}
+		}
+		for _, h := range bsHits {
+			if !within[h.Doc] {
+				t.Fatalf("query %q: hit %v outside restriction", q, h)
+			}
+		}
+	}
+}
+
+// TestSearchVectorPoolReuse runs many searches to cycle the pooled dense
+// accumulator and checks repeated identical queries stay bit-identical
+// (the pool must hand back fully reset scratchpads).
+func TestSearchVectorPoolReuse(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	qv := ix.Analyzer().QueryVector("rna transcription repair")
+	first := ix.SearchVector(qv, Options{})
+	if len(first) == 0 {
+		t.Fatal("no hits")
+	}
+	for rep := 0; rep < 50; rep++ {
+		got := ix.SearchVector(qv, Options{})
+		if len(got) != len(first) {
+			t.Fatalf("rep %d: %d hits, want %d", rep, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("rep %d hit %d: %v != %v", rep, i, got[i], first[i])
+			}
+		}
 	}
 }

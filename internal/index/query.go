@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -35,15 +36,10 @@ type Query interface {
 type termQuery struct{ term string }
 
 func (q termQuery) matches(ix *Index, doc corpus.PaperID) bool {
-	for _, p := range ix.postings[q.term] {
-		if p.doc == doc {
-			return true
-		}
-		if p.doc > doc {
-			return false // postings sorted by doc
-		}
-	}
-	return false
+	docs, _ := ix.termPostings(q.term)
+	// Postings are sorted by doc: binary search.
+	_, ok := slices.BinarySearch(docs, doc)
+	return ok
 }
 
 func (q termQuery) positiveTerms(ix *Index, into vector.Sparse) { into[q.term]++ }
@@ -229,18 +225,25 @@ func (ix *Index) SearchQuery(q Query, opts Options) ([]Hit, error) {
 	}
 	qv := ix.analyzer.DF().Weight(raw)
 
-	// Candidates: union of postings of positive terms.
-	cands := map[corpus.PaperID]bool{}
+	// Candidates: union of postings of positive terms, deduplicated with
+	// the pooled dense scratchpad instead of a per-query map.
+	acc := ix.getAccum()
+	defer ix.putAccum(acc)
+	restricted := opts.restricted()
 	for term := range raw {
-		for _, p := range ix.postings[term] {
-			if opts.Within != nil && !opts.Within[p.doc] {
+		docs, _ := ix.termPostings(term)
+		for _, doc := range docs {
+			if restricted && !opts.allows(doc) {
 				continue
 			}
-			cands[p.doc] = true
+			if !acc.seen[doc] {
+				acc.seen[doc] = true
+				acc.touched = append(acc.touched, doc)
+			}
 		}
 	}
 	var hits []Hit
-	for doc := range cands {
+	for _, doc := range acc.touched {
 		if !q.matches(ix, doc) {
 			continue
 		}

@@ -1,0 +1,100 @@
+// Query-path benchmarks at the reduced experiments.BenchScale(): context
+// selection and full context-based search at several fan-out widths (k
+// selected contexts). BENCH_PR1.json records the before/after numbers of
+// the PR-1 query-path overhaul measured with these benchmarks.
+package search_test
+
+import (
+	"sync"
+	"testing"
+
+	"ctxsearch"
+	"ctxsearch/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchEng  *ctxsearch.Engine
+	benchErr  error
+)
+
+// benchQuery is broad on purpose: its vocabulary overlaps many generated
+// term names, so SelectContexts has real candidate-ranking work to do and
+// MaxContexts=k genuinely controls the per-query fan-out.
+const benchQuery = "regulation of rna protein binding transport activity"
+
+func benchEngine(b *testing.B) *ctxsearch.Engine {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := experiments.BenchScale()
+		cfg := ctxsearch.DefaultConfig()
+		cfg.Seed = scale.Seed
+		cfg.Papers = scale.Papers
+		cfg.OntologyTerms = scale.Terms
+		sys, err := ctxsearch.NewSyntheticSystem(cfg)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		cs := sys.BuildTextContextSet()
+		benchEng = sys.Engine(cs, sys.ScoreText(cs))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEng
+}
+
+// benchOpts selects exactly k contexts for benchQuery.
+func benchOpts(b *testing.B, e *ctxsearch.Engine, k int) ctxsearch.SearchOptions {
+	b.Helper()
+	opts := ctxsearch.SearchOptions{MaxContexts: k, MinContextMatch: 0.01}
+	if got := len(e.SelectContexts(benchQuery, opts)); got != k {
+		b.Fatalf("benchmark query selects %d contexts, want %d", got, k)
+	}
+	return opts
+}
+
+func BenchmarkSelectContexts(b *testing.B) {
+	e := benchEngine(b)
+	opts := ctxsearch.SearchOptions{MinContextMatch: 0.01}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(e.SelectContexts(benchQuery, opts)) == 0 {
+			b.Fatal("no contexts selected")
+		}
+	}
+}
+
+func benchmarkEngineSearch(b *testing.B, k int) {
+	e := benchEngine(b)
+	opts := benchOpts(b, e, k)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(e.Search(benchQuery, opts)) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkEngineSearch1(b *testing.B) { benchmarkEngineSearch(b, 1) }
+func BenchmarkEngineSearch4(b *testing.B) { benchmarkEngineSearch(b, 4) }
+func BenchmarkEngineSearch8(b *testing.B) { benchmarkEngineSearch(b, 8) }
+
+func BenchmarkEngineSearchBoolean(b *testing.B) {
+	e := benchEngine(b)
+	opts := benchOpts(b, e, 4)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := e.SearchBoolean("regulation AND (rna OR protein) binding", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+)
+
+// This file retains the straightforward per-context formulation of
+// Search/SearchBoolean that the optimized single-pass implementation in
+// search.go replaced: one full index pass per selected context with a
+// map-based Within filter, merged through a map keyed by paper. It is the
+// executable specification — the golden tests assert the optimized path
+// returns exactly the same results — and the honest baseline for the
+// query-path benchmarks. It is not wired into any production caller.
+
+// searchNaive is the reference implementation of Search.
+func (e *Engine) searchNaive(query string, opts Options) []Result {
+	ctxs := e.SelectContexts(query, opts)
+	if len(ctxs) == 0 {
+		return nil
+	}
+	qv := e.ix.Analyzer().QueryVector(query)
+	best := make(map[corpus.PaperID]Result)
+	for _, cscore := range ctxs {
+		ctx := cscore.Context
+		within := e.cs.PaperSet(ctx)
+		hits := e.ix.SearchVector(qv, index.Options{Within: within})
+		for _, h := range hits {
+			p := e.scores.Get(ctx, h.Doc)
+			if e.weights.ContextWeighted {
+				p *= cscore.Score
+			}
+			r := e.weights.Prestige*p + e.weights.Matching*h.Score
+			if r < opts.Threshold {
+				continue
+			}
+			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
+				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
+			}
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sortResults(out)
+	return paginate(out, opts)
+}
+
+// searchBooleanNaive is the reference implementation of SearchBoolean.
+func (e *Engine) searchBooleanNaive(query string, opts Options) ([]Result, error) {
+	q, err := e.ix.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	ctxs := e.SelectContexts(query, opts)
+	if len(ctxs) == 0 {
+		return nil, nil
+	}
+	best := make(map[corpus.PaperID]Result)
+	for _, cscore := range ctxs {
+		ctx := cscore.Context
+		within := e.cs.PaperSet(ctx)
+		hits, err := e.ix.SearchQuery(q, index.Options{Within: within})
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			p := e.scores.Get(ctx, h.Doc)
+			if e.weights.ContextWeighted {
+				p *= cscore.Score
+			}
+			r := e.weights.Prestige*p + e.weights.Matching*h.Score
+			if r < opts.Threshold {
+				continue
+			}
+			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
+				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
+			}
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sortResults(out)
+	return paginate(out, opts), nil
+}

@@ -6,11 +6,23 @@
 //
 // plus the plain keyword-search baselines the paper compares against
 // (PubMed-style unranked listing and TF-IDF ranking over the whole corpus).
+//
+// The query hot path is engineered for throughput: context selection walks
+// an inverted token→contexts map (only contexts sharing a query token are
+// visited), and Search/SearchBoolean score the union of the selected
+// contexts' paper bitsets in a single index pass, distributing each hit to
+// its contexts by O(1) bitset membership and fanning the per-context
+// relevancy computation over a worker pool. Results are identical to the
+// retained naive per-context implementation (see naive.go and the golden
+// tests).
 package search
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
+	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/contextset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/index"
@@ -81,23 +93,45 @@ type Engine struct {
 	weights Weights
 	// termTokens caches tokenized term names for context selection.
 	termTokens map[ontology.TermID][]string
+	// tokenCtxs inverts termTokens: for every distinct token of a term
+	// name, the contexts whose name contains it (sorted by term ID).
+	// SelectContexts only visits contexts sharing ≥1 query token instead
+	// of scanning every scored context.
+	tokenCtxs map[string][]ontology.TermID
+	// distinctTokens caches |distinct name tokens| per context — the
+	// Jaccard denominator piece that used to be recomputed per query.
+	distinctTokens map[ontology.TermID]int
 }
 
 // NewEngine assembles an engine from an index, a context paper set and the
 // prestige scores computed over it.
 func NewEngine(ix *index.Index, cs *contextset.ContextSet, scores prestige.Scores, w Weights) *Engine {
 	e := &Engine{
-		ix:         ix,
-		cs:         cs,
-		scores:     scores,
-		weights:    w,
-		termTokens: make(map[ontology.TermID][]string),
+		ix:             ix,
+		cs:             cs,
+		scores:         scores,
+		weights:        w,
+		termTokens:     make(map[ontology.TermID][]string),
+		tokenCtxs:      make(map[string][]ontology.TermID),
+		distinctTokens: make(map[ontology.TermID]int),
 	}
 	tok := ix.Analyzer().Tokenizer()
 	for ctx := range scores {
 		if t := cs.Ontology().Term(ctx); t != nil {
-			e.termTokens[ctx] = tok.Terms(t.Name)
+			words := tok.Terms(t.Name)
+			e.termTokens[ctx] = words
+			seen := make(map[string]bool, len(words))
+			for _, w := range words {
+				if !seen[w] {
+					seen[w] = true
+					e.tokenCtxs[w] = append(e.tokenCtxs[w], ctx)
+				}
+			}
+			e.distinctTokens[ctx] = len(seen)
 		}
+	}
+	for _, ctxs := range e.tokenCtxs {
+		sort.Slice(ctxs, func(i, j int) bool { return ctxs[i] < ctxs[j] })
 	}
 	return e
 }
@@ -111,7 +145,8 @@ type ContextScore struct {
 // SelectContexts implements task 3: rank scored contexts by the overlap of
 // the query words with the context term's name (Jaccard over stemmed
 // words), returning those above MinContextMatch, best first, capped at
-// MaxContexts.
+// MaxContexts. Only contexts sharing at least one token with the query are
+// visited (inverted token→contexts map built in NewEngine).
 func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
 	maxCtx := opts.MaxContexts
 	if maxCtx <= 0 {
@@ -129,26 +164,20 @@ func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
 	for _, w := range qWords {
 		qSet[w] = true
 	}
-	var cands []ContextScore
-	for ctx, words := range e.termTokens {
-		inter := 0
-		seen := map[string]bool{}
-		for _, w := range words {
-			if qSet[w] && !seen[w] {
-				inter++
-				seen[w] = true
-			}
+	// inter[ctx] = |distinct query words ∩ distinct name words|, counted
+	// via the inverted map: each distinct query word bumps every context
+	// whose name contains it exactly once.
+	inter := make(map[ontology.TermID]int)
+	for w := range qSet {
+		for _, ctx := range e.tokenCtxs[w] {
+			inter[ctx]++
 		}
-		if inter == 0 {
-			continue
-		}
+	}
+	cands := make([]ContextScore, 0, len(inter))
+	for ctx, in := range inter {
 		// Jaccard: |q ∩ name| / |q ∪ name| over distinct stemmed words.
-		distinctName := map[string]bool{}
-		for _, w := range words {
-			distinctName[w] = true
-		}
-		union := len(qSet) + len(distinctName) - inter
-		score := float64(inter) / float64(union)
+		union := len(qSet) + e.distinctTokens[ctx] - in
+		score := float64(in) / float64(union)
 		if score >= minMatch {
 			cands = append(cands, ContextScore{ctx, score})
 		}
@@ -202,44 +231,169 @@ func (e *Engine) expandSemantically(cands []ContextScore, opts Options) []Contex
 	return out
 }
 
+// unionBitset ORs the paper bitsets of the selected contexts.
+func (e *Engine) unionBitset(ctxs []ContextScore) bitset.Set {
+	var union bitset.Set
+	for _, c := range ctxs {
+		union.UnionWith(e.cs.PaperBitset(c.Context))
+	}
+	return union
+}
+
 // Search implements tasks 4 and 5: keyword search inside each selected
 // context, relevancy scoring, and merging into a single ranked result set
 // (per paper, the maximising context wins).
+//
+// Unlike the naive formulation (one index pass per context), the postings
+// are walked once over the union of the selected contexts' paper sets; each
+// hit is then distributed to the contexts containing it by bitset
+// membership, with the per-context relevancy computation fanned over a
+// worker pool and merged deterministically in context order.
 func (e *Engine) Search(query string, opts Options) []Result {
 	ctxs := e.SelectContexts(query, opts)
 	if len(ctxs) == 0 {
 		return nil
 	}
 	qv := e.ix.Analyzer().QueryVector(query)
-	best := make(map[corpus.PaperID]Result)
-	for _, cscore := range ctxs {
-		ctx := cscore.Context
-		within := e.cs.PaperSet(ctx)
-		hits := e.ix.SearchVector(qv, index.Options{Within: within})
-		for _, h := range hits {
-			p := e.scores.Get(ctx, h.Doc)
+	hits := e.ix.SearchVector(qv, index.Options{WithinSet: e.unionBitset(ctxs)})
+	return paginate(e.mergeHits(ctxs, hits, opts), opts)
+}
+
+// SearchBoolean runs a context-based search with a boolean query (the
+// index package's AND/OR/NOT/"phrase"/field:term language): context
+// selection and the text-matching score use the query's positive terms,
+// while the boolean structure filters candidates inside each selected
+// context. Returns an error for unparsable or purely negative queries.
+// Like Search, the boolean evaluation and text scoring run once over the
+// union of the selected contexts instead of once per context.
+func (e *Engine) SearchBoolean(query string, opts Options) ([]Result, error) {
+	q, err := e.ix.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	ctxs := e.SelectContexts(query, opts)
+	if len(ctxs) == 0 {
+		return nil, nil
+	}
+	hits, err := e.ix.SearchQuery(q, index.Options{WithinSet: e.unionBitset(ctxs)})
+	if err != nil {
+		return nil, err
+	}
+	return paginate(e.mergeHits(ctxs, hits, opts), opts), nil
+}
+
+// mergeHits turns one union-pass hit list into ranked results: for every
+// hit, the relevancy R(p, q, ci) is computed in every selected context
+// containing the paper, and the maximising context wins (first in
+// selection order on ties, matching the naive per-context loop). The
+// per-context partials are computed by a worker pool; the merge visits
+// contexts in selection order, so the output is deterministic and
+// independent of worker scheduling.
+func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) []Result {
+	if len(hits) == 0 {
+		return nil
+	}
+	// partial[i][j] is the effective prestige of hits[j] in ctxs[i], NaN
+	// when the paper is outside the context. Workers write disjoint rows.
+	partial := make([][]float64, len(ctxs))
+	member := make([]bitset.Set, len(ctxs))
+	for i, c := range ctxs {
+		member[i] = e.cs.PaperBitset(c.Context)
+	}
+	scoreCtx := func(i int) {
+		row := make([]float64, len(hits))
+		c := ctxs[i]
+		for j, h := range hits {
+			if !member[i].Contains(int(h.Doc)) {
+				row[j] = -1
+				continue
+			}
+			p := e.scores.Get(c.Context, h.Doc)
 			if e.weights.ContextWeighted {
-				p *= cscore.Score
+				p *= c.Score
+			}
+			row[j] = p
+		}
+		partial[i] = row
+	}
+	// Fan per-context scoring over a worker pool (mirrors
+	// prestige.ScoreAllParallel); a single context or tiny hit list is not
+	// worth the goroutine overhead.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ctxs) {
+		workers = len(ctxs)
+	}
+	if workers <= 1 || len(ctxs)*len(hits) < 4096 {
+		for i := range ctxs {
+			scoreCtx(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					scoreCtx(i)
+				}
+			}()
+		}
+		for i := range ctxs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Deterministic merge in context selection order: per paper, the
+	// maximising context wins, first context on ties — exactly the update
+	// order of the naive sequential loop.
+	out := make([]Result, 0, len(hits))
+	for j, h := range hits {
+		bestI := -1
+		var bestR float64
+		for i := range ctxs {
+			p := partial[i][j]
+			if p < 0 {
+				continue // not a member (prestige itself is ≥ 0)
 			}
 			r := e.weights.Prestige*p + e.weights.Matching*h.Score
 			if r < opts.Threshold {
 				continue
 			}
-			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
-				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
+			if bestI < 0 || r > bestR {
+				bestI, bestR = i, r
 			}
 		}
+		if bestI < 0 {
+			continue
+		}
+		out = append(out, Result{
+			Doc:       h.Doc,
+			Relevancy: bestR,
+			Match:     h.Score,
+			Prestige:  partial[bestI][j],
+			Context:   ctxs[bestI].Context,
+		})
 	}
-	out := make([]Result, 0, len(best))
-	for _, r := range best {
-		out = append(out, r)
-	}
+	sortResults(out)
+	return out
+}
+
+// sortResults orders results by descending relevancy, ties by ascending
+// document ID.
+func sortResults(out []Result) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Relevancy != out[j].Relevancy {
 			return out[i].Relevancy > out[j].Relevancy
 		}
 		return out[i].Doc < out[j].Doc
 	})
+}
+
+// paginate applies Offset/Limit to a ranked result list.
+func paginate(out []Result, opts Options) []Result {
 	if opts.Offset > 0 {
 		if opts.Offset >= len(out) {
 			return nil
@@ -250,64 +404,6 @@ func (e *Engine) Search(query string, opts Options) []Result {
 		out = out[:opts.Limit]
 	}
 	return out
-}
-
-// SearchBoolean runs a context-based search with a boolean query (the
-// index package's AND/OR/NOT/"phrase"/field:term language): context
-// selection and the text-matching score use the query's positive terms,
-// while the boolean structure filters candidates inside each selected
-// context. Returns an error for unparsable or purely negative queries.
-func (e *Engine) SearchBoolean(query string, opts Options) ([]Result, error) {
-	q, err := e.ix.ParseQuery(query)
-	if err != nil {
-		return nil, err
-	}
-	ctxs := e.SelectContexts(query, opts)
-	if len(ctxs) == 0 {
-		return nil, nil
-	}
-	best := make(map[corpus.PaperID]Result)
-	for _, cscore := range ctxs {
-		ctx := cscore.Context
-		within := e.cs.PaperSet(ctx)
-		hits, err := e.ix.SearchQuery(q, index.Options{Within: within})
-		if err != nil {
-			return nil, err
-		}
-		for _, h := range hits {
-			p := e.scores.Get(ctx, h.Doc)
-			if e.weights.ContextWeighted {
-				p *= cscore.Score
-			}
-			r := e.weights.Prestige*p + e.weights.Matching*h.Score
-			if r < opts.Threshold {
-				continue
-			}
-			if cur, ok := best[h.Doc]; !ok || r > cur.Relevancy {
-				best[h.Doc] = Result{Doc: h.Doc, Relevancy: r, Match: h.Score, Prestige: p, Context: ctx}
-			}
-		}
-	}
-	out := make([]Result, 0, len(best))
-	for _, r := range best {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Relevancy != out[j].Relevancy {
-			return out[i].Relevancy > out[j].Relevancy
-		}
-		return out[i].Doc < out[j].Doc
-	})
-	if opts.Offset > 0 {
-		if opts.Offset >= len(out) {
-			return nil, nil
-		}
-		out = out[opts.Offset:]
-	}
-	if opts.Limit > 0 && len(out) > opts.Limit {
-		out = out[:opts.Limit]
-	}
-	return out, nil
 }
 
 // BaselineTFIDF is the whole-corpus TF-IDF ranked keyword search (the

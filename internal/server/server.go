@@ -2,7 +2,7 @@
 // small JSON API — the deployment shape the paper's system (a digital
 // library search service) implies:
 //
-//	GET /search?q=...&limit=N&threshold=T   ranked results
+//	GET /search?q=...&limit=N&offset=N&threshold=T&boolean=1   ranked results
 //	GET /contexts?q=...                     selected contexts for a query
 //	GET /papers/{id}                        one paper with contexts & scores
 //	GET /stats                              corpus/context statistics
@@ -97,6 +97,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Limit = n
 	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		opts.Offset = n
+	}
 	if v := r.URL.Query().Get("threshold"); v != "" {
 		t, err := strconv.ParseFloat(v, 64)
 		if err != nil || t < 0 || t > 1 {
@@ -105,8 +113,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Threshold = t
 	}
+	var results []ctxsearch.SearchResult
+	if v := r.URL.Query().Get("boolean"); v == "1" || v == "true" {
+		var err error
+		results, err = s.engine.SearchBoolean(q, opts)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad boolean query: %v", err)
+			return
+		}
+	} else {
+		results = s.engine.Search(q, opts)
+	}
 	resp := SearchResponse{Query: q, Results: []SearchResult{}}
-	for _, res := range s.engine.Search(q, opts) {
+	for _, res := range results {
 		p := s.sys.Corpus.Paper(res.Doc)
 		resp.Results = append(resp.Results, SearchResult{
 			PaperID:     int(res.Doc),

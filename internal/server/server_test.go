@@ -159,3 +159,43 @@ func urlQuery(s string) string {
 	}
 	return out
 }
+
+func TestSearchBooleanAndOffset(t *testing.T) {
+	s, query := testServer(t)
+	// boolean=1 routes through Engine.SearchBoolean (implicit AND between
+	// the query's words).
+	rec := get(t, s, "/search?q="+urlQuery(query)+"&boolean=1&limit=5")
+	if rec.Code != 200 {
+		t.Fatalf("boolean search = %d: %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("boolean search returned nothing")
+	}
+	// An unparsable boolean query is a 400, not a 500.
+	if rec := get(t, s, "/search?q="+urlQuery("NOT (")+"&boolean=1"); rec.Code != 400 {
+		t.Fatalf("bad boolean query = %d", rec.Code)
+	}
+	// offset pages past the first result.
+	full := get(t, s, "/search?q="+urlQuery(query)+"&limit=3")
+	var fullResp SearchResponse
+	if err := json.Unmarshal(full.Body.Bytes(), &fullResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(fullResp.Results) >= 2 {
+		paged := get(t, s, "/search?q="+urlQuery(query)+"&limit=1&offset=1")
+		var pagedResp SearchResponse
+		if err := json.Unmarshal(paged.Body.Bytes(), &pagedResp); err != nil {
+			t.Fatal(err)
+		}
+		if len(pagedResp.Results) != 1 || pagedResp.Results[0].PaperID != fullResp.Results[1].PaperID {
+			t.Fatalf("offset paging broken: %+v vs %+v", pagedResp.Results, fullResp.Results[1])
+		}
+	}
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&offset=-1"); rec.Code != 400 {
+		t.Fatalf("bad offset = %d", rec.Code)
+	}
+}
