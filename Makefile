@@ -1,11 +1,12 @@
 # Developer entry points. `make verify` is the tier-1 gate every PR must
 # keep green; it includes a -race pass over the parallelized query path
 # (internal/search fans per-context scoring over a worker pool and
-# internal/index pools accumulators across goroutines).
+# internal/index pools accumulators across goroutines) and over the
+# serving path (middleware stack, graceful shutdown, fault injection).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query
+.PHONY: verify build test vet race bench bench-query serve-smoke
 
 verify: vet build test race
 
@@ -19,7 +20,13 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/search/... ./internal/index/...
+	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./cmd/ctxsearch/...
+
+# Black-box smoke test of the serve command: boots the real binary, waits
+# for readiness, exercises the HTTP API with curl, and checks that SIGTERM
+# produces a graceful exit.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Full benchmark suite (figures + query path).
 bench:

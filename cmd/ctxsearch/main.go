@@ -32,17 +32,38 @@
 //	-score FN     prestige function: text | citation | pattern (default text)
 //	-limit N      max search results (default 15)
 //	-addr ADDR    listen address for serve (default :8080)
+//
+// Serving flags (see the README's "Serving" section):
+//
+//	-query-timeout D       per-request search deadline; expiry returns 503
+//	                       (default 2s, <=0 disables)
+//	-max-inflight N        concurrent API request cap; excess sheds with
+//	                       429 + Retry-After (default 64, <=0 unlimited)
+//	-http-read-timeout D   http.Server ReadTimeout (default 5s)
+//	-http-write-timeout D  http.Server WriteTimeout (default 30s)
+//	-http-idle-timeout D   http.Server IdleTimeout (default 2m)
+//	-shutdown-timeout D    drain window on SIGINT/SIGTERM (default 10s)
+//
+// serve binds its port immediately and builds the engine in the
+// background: /healthz answers at once, /readyz (and the API) flip from
+// 503 to 200 when the engine is ready, and SIGINT/SIGTERM drain in-flight
+// requests before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
+	"log"
+	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"ctxsearch"
 	"ctxsearch/internal/cluster"
@@ -70,6 +91,12 @@ type app struct {
 }
 
 func run(args []string, out io.Writer) error {
+	return runCtx(context.Background(), args, out)
+}
+
+// runCtx is run with a caller-supplied base context, so tests can stop a
+// serve command the way a SIGTERM would.
+func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ctxsearch", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	papers := fs.Int("papers", 2000, "synthetic corpus size")
@@ -83,6 +110,12 @@ func run(args []string, out io.Writer) error {
 	boolean := fs.Bool("boolean", false, "treat the search query as a boolean expression (AND/OR/NOT, \"phrases\", field:term)")
 	statePath := fs.String("state", "", "context-set + scores gob file (load if present, else save)")
 	addr := fs.String("addr", ":8080", "listen address for serve")
+	queryTimeout := fs.Duration("query-timeout", server.DefaultQueryTimeout, "serve: per-request search deadline, expiry returns 503 (<=0 disables)")
+	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "serve: max concurrently served API requests, excess sheds with 429 (<=0 unlimited)")
+	httpReadTimeout := fs.Duration("http-read-timeout", 5*time.Second, "serve: http.Server ReadTimeout")
+	httpWriteTimeout := fs.Duration("http-write-timeout", 30*time.Second, "serve: http.Server WriteTimeout")
+	httpIdleTimeout := fs.Duration("http-idle-timeout", 2*time.Minute, "serve: http.Server IdleTimeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "serve: drain window for in-flight requests on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +129,18 @@ func run(args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Papers = *papers
 	cfg.OntologyTerms = *terms
+
+	if cmd == "serve" {
+		return serveCmd(ctx, out, serveOpts{
+			cfg:        cfg,
+			corpusPath: *corpusPath, oboPath: *oboPath,
+			setKind: *setKind, scoreFn: *scoreFn, statePath: *statePath,
+			addr:         *addr,
+			queryTimeout: *queryTimeout, maxInflight: *maxInflight,
+			readTimeout: *httpReadTimeout, writeTimeout: *httpWriteTimeout,
+			idleTimeout: *httpIdleTimeout, shutdownTimeout: *shutdownTimeout,
+		})
+	}
 
 	sys, err := buildSystem(cfg, *corpusPath, *oboPath, cmd == "generate")
 	if err != nil {
@@ -114,10 +159,6 @@ func run(args []string, out io.Writer) error {
 	a.engine = sys.Engine(a.cs, a.scores)
 
 	switch cmd {
-	case "serve":
-		srv := server.New(a.sys, a.cs, a.scores)
-		fmt.Fprintf(out, "listening on %s\n", *addr)
-		return http.ListenAndServe(*addr, srv)
 	case "search":
 		return a.search(out, rest)
 	case "contexts":
@@ -137,6 +178,75 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// serveOpts carries everything the serve command needs.
+type serveOpts struct {
+	cfg                                    ctxsearch.Config
+	corpusPath, oboPath, setKind, scoreFn  string
+	statePath, addr                        string
+	queryTimeout                           time.Duration
+	maxInflight                            int
+	readTimeout, writeTimeout, idleTimeout time.Duration
+	shutdownTimeout                        time.Duration
+}
+
+// serveCmd runs the hardened HTTP server: the port binds immediately with a
+// pending server (liveness up, readiness 503), the engine is built or
+// loaded in the background and swapped in via SetReady, and SIGINT/SIGTERM
+// (or ctx cancellation) trigger a graceful drain. A failed build shuts the
+// server down and surfaces the build error.
+func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
+	qt := o.queryTimeout
+	if qt <= 0 {
+		qt = -1 // flag "disabled" → Config "no deadline"
+	}
+	mi := o.maxInflight
+	if mi <= 0 {
+		mi = -1
+	}
+	srv := server.NewPending(server.Config{
+		QueryTimeout: qt,
+		MaxInflight:  mi,
+		Logger:       log.New(os.Stderr, "ctxsearch: ", log.LstdFlags),
+	})
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	buildErr := make(chan error, 1)
+	go func() {
+		sys, err := buildSystem(o.cfg, o.corpusPath, o.oboPath, false)
+		if err != nil {
+			buildErr <- fmt.Errorf("building system: %w", err)
+			cancel()
+			return
+		}
+		a := &app{sys: sys}
+		if err := a.prepare(o.setKind, o.scoreFn, o.statePath); err != nil {
+			buildErr <- err
+			cancel()
+			return
+		}
+		srv.SetReady(sys, a.cs, a.scores)
+		fmt.Fprintln(out, "engine ready")
+		buildErr <- nil
+	}()
+	err := server.Run(ctx, o.addr, srv, server.RunConfig{
+		ReadTimeout:     o.readTimeout,
+		WriteTimeout:    o.writeTimeout,
+		IdleTimeout:     o.idleTimeout,
+		ShutdownTimeout: o.shutdownTimeout,
+		OnListen:        func(a net.Addr) { fmt.Fprintf(out, "listening on %s\n", a) },
+	})
+	select {
+	case berr := <-buildErr:
+		if berr != nil {
+			return berr
+		}
+	default:
+	}
+	return err
 }
 
 // buildSystem loads corpus/ontology from files when they exist, generates

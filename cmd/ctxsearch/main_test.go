@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -165,6 +171,108 @@ func TestExportCommand(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-papers", "150", "-terms", "40", "export", "bogus", gaf}, &buf); err == nil {
 		t.Fatal("unknown export format must fail")
+	}
+}
+
+// syncBuffer guards the output writer: serveCmd writes "listening on" from
+// the serving goroutine and "engine ready" from the build goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeCommand boots the real serve command on an ephemeral port,
+// waits for readiness to flip, exercises the API over HTTP, and then
+// cancels the context the way a SIGTERM would — expecting a clean exit.
+func TestServeCommand(t *testing.T) {
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- runCtx(ctx, []string{"-papers", "120", "-terms", "40",
+			"-addr", "127.0.0.1:0", "serve"}, &out)
+	}()
+	// The port binds before the engine build finishes; learn it from the log.
+	listenRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never started listening:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + addr
+	// Liveness answers immediately; readiness flips once the engine lands.
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/search?q=transcription"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	cancel() // SIGTERM equivalent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve never exited after cancellation")
+	}
+	if !strings.Contains(out.String(), "engine ready") {
+		t.Fatalf("missing engine-ready log:\n%s", out.String())
+	}
+}
+
+// TestServeCommandBuildFailure: a serve whose engine build fails must shut
+// the (already listening) server down and surface the build error.
+func TestServeCommandBuildFailure(t *testing.T) {
+	var out syncBuffer
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := runCtx(ctx, []string{"-papers", "120", "-terms", "40",
+		"-set", "bogus", "-addr", "127.0.0.1:0", "serve"}, &out)
+	if err == nil {
+		t.Fatalf("bogus context set must fail serve:\n%s", out.String())
+	}
+	if !strings.Contains(fmt.Sprint(err), "bogus") {
+		t.Fatalf("error does not mention the bad flag: %v", err)
 	}
 }
 

@@ -14,6 +14,7 @@
 package index
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -21,6 +22,12 @@ import (
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/vector"
 )
+
+// cancelCheckMask batches cooperative cancellation checks in scoring loops:
+// ctx.Err() is consulted once every cancelCheckMask+1 iterations, keeping
+// the hot path branch-cheap while still stopping an abandoned query within
+// a few thousand documents.
+const cancelCheckMask = 8192 - 1
 
 // Hit is one search result.
 type Hit struct {
@@ -212,15 +219,28 @@ func (ix *Index) resolveQuery(qv vector.Sparse) []queryTerm {
 // SearchVector searches with a pre-built query vector (used by expansion
 // steps that query with document centroids).
 func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
+	hits, _ := ix.SearchVectorContext(context.Background(), qv, opts)
+	return hits
+}
+
+// SearchVectorContext is SearchVector with cooperative cancellation: the
+// postings walk checks ctx between query terms and the scoring pass checks
+// periodically, so an abandoned or deadline-expired query stops promptly
+// instead of running to completion. A completed call returns exactly the
+// hits SearchVector would; a cancelled call returns (nil, ctx.Err()).
+func (ix *Index) SearchVectorContext(ctx context.Context, qv vector.Sparse, opts Options) ([]Hit, error) {
 	qn := qv.Norm()
 	if qn == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	qts := ix.resolveQuery(qv)
 	acc := ix.getAccum()
 	defer ix.putAccum(acc)
 	restricted := opts.restricted()
 	for _, qt := range qts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		qw := qt.w
 		docs, ws := ix.postingsOf(qt.id)
 		for i, doc := range docs {
@@ -235,7 +255,12 @@ func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
 		}
 	}
 	hits := make([]Hit, 0, len(acc.touched))
-	for _, doc := range acc.touched {
+	for i, doc := range acc.touched {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		dn := ix.norms[doc]
 		if dn == 0 {
 			continue
@@ -249,7 +274,7 @@ func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
 	if opts.Limit > 0 && len(hits) > opts.Limit {
 		hits = hits[:opts.Limit]
 	}
-	return hits
+	return hits, nil
 }
 
 // MatchScore returns the cosine text-matching score between a query and one

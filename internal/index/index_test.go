@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"testing"
 
 	"ctxsearch/internal/bitset"
@@ -198,6 +199,40 @@ func TestSearchVectorPoolReuse(t *testing.T) {
 			if got[i] != first[i] {
 				t.Fatalf("rep %d hit %d: %v != %v", rep, i, got[i], first[i])
 			}
+		}
+	}
+}
+
+// TestSearchContextCancellation: cancelled contexts surface promptly from
+// both the vector and the boolean evaluation paths, and a background
+// context reproduces the plain-path results exactly.
+func TestSearchContextCancellation(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	qv := ix.Analyzer().QueryVector("rna polymerase transcription")
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if hits, err := ix.SearchVectorContext(cancelled, qv, Options{}); err != context.Canceled || hits != nil {
+		t.Fatalf("SearchVectorContext = (%v, %v), want (nil, context.Canceled)", hits, err)
+	}
+	q, err := ix.ParseQuery("rna AND polymerase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, err := ix.SearchQueryContext(cancelled, q, Options{}); err != context.Canceled || hits != nil {
+		t.Fatalf("SearchQueryContext = (%v, %v), want (nil, context.Canceled)", hits, err)
+	}
+	// Uncancelled: identical to the plain wrappers.
+	got, err := ix.SearchVectorContext(context.Background(), qv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.SearchVector(qv, Options{})
+	if len(got) != len(want) {
+		t.Fatalf("SearchVectorContext returned %d hits, SearchVector %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d differs: %v vs %v", i, got[i], want[i])
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -218,6 +219,15 @@ func (ix *Index) ParseQuery(s string) (Query, error) {
 // positive terms' postings (a NOT-only query is rejected), the boolean tree
 // filters them, and cosine similarity of the positive terms ranks them.
 func (ix *Index) SearchQuery(q Query, opts Options) ([]Hit, error) {
+	return ix.SearchQueryContext(context.Background(), q, opts)
+}
+
+// SearchQueryContext is SearchQuery with cooperative cancellation: the
+// candidate walk checks ctx between terms and the boolean-matching pass —
+// the expensive part for phrase and field queries — checks every few
+// hundred candidates. A completed call returns exactly the hits
+// SearchQuery would; a cancelled call returns (nil, ctx.Err()).
+func (ix *Index) SearchQueryContext(ctx context.Context, q Query, opts Options) ([]Hit, error) {
 	raw := vector.New()
 	q.positiveTerms(ix, raw)
 	if len(raw) == 0 {
@@ -231,6 +241,9 @@ func (ix *Index) SearchQuery(q Query, opts Options) ([]Hit, error) {
 	defer ix.putAccum(acc)
 	restricted := opts.restricted()
 	for term := range raw {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		docs, _ := ix.termPostings(term)
 		for _, doc := range docs {
 			if restricted && !opts.allows(doc) {
@@ -243,7 +256,15 @@ func (ix *Index) SearchQuery(q Query, opts Options) ([]Hit, error) {
 		}
 	}
 	var hits []Hit
-	for _, doc := range acc.touched {
+	for i, doc := range acc.touched {
+		// Boolean matching walks token slices per candidate (phrase scans
+		// especially), so check cancellation on a tighter stride than the
+		// vector path.
+		if i&511 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !q.matches(ix, doc) {
 			continue
 		}

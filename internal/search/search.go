@@ -18,6 +18,7 @@
 package search
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -29,6 +30,17 @@ import (
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/prestige"
 )
+
+// parallelMergeThreshold is the ctxs×hits work size below which per-context
+// scoring stays serial (the goroutine overhead isn't worth it). It is a
+// variable rather than a constant so the fault-injection tests can force
+// the worker-pool path on small fixtures.
+var parallelMergeThreshold = 4096
+
+// scoreRowHook, when non-nil, runs before each per-context scoring row.
+// It is a fault-injection point for the cancellation tests (simulated slow
+// scoring); production code never sets it.
+var scoreRowHook func()
 
 // Weights combine prestige and text-matching into the relevancy score.
 type Weights struct {
@@ -148,6 +160,18 @@ type ContextScore struct {
 // MaxContexts. Only contexts sharing at least one token with the query are
 // visited (inverted token→contexts map built in NewEngine).
 func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
+	sel, _ := e.SelectContextsContext(context.Background(), query, opts)
+	return sel
+}
+
+// SelectContextsContext is SelectContexts with cooperative cancellation:
+// candidate accumulation and semantic expansion check ctx between stages. A
+// completed call returns exactly what SelectContexts would; a cancelled
+// call returns (nil, ctx.Err()).
+func (e *Engine) SelectContextsContext(ctx context.Context, query string, opts Options) ([]ContextScore, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	maxCtx := opts.MaxContexts
 	if maxCtx <= 0 {
 		maxCtx = 8
@@ -158,7 +182,7 @@ func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
 	}
 	qWords := e.ix.Analyzer().Tokenizer().Terms(query)
 	if len(qWords) == 0 {
-		return nil
+		return nil, nil
 	}
 	qSet := make(map[string]bool, len(qWords))
 	for _, w := range qWords {
@@ -189,18 +213,23 @@ func (e *Engine) SelectContexts(query string, opts Options) []ContextScore {
 		return cands[i].Context < cands[j].Context
 	})
 	if opts.ExpandContexts && len(cands) > 0 {
-		cands = e.expandSemantically(cands, opts)
+		expanded, err := e.expandSemantically(ctx, cands, opts)
+		if err != nil {
+			return nil, err
+		}
+		cands = expanded
 	}
 	if len(cands) > maxCtx {
 		cands = cands[:maxCtx]
 	}
-	return cands
+	return cands, ctx.Err()
 }
 
 // expandSemantically adds scored contexts semantically close to the best
 // word-overlap match, scored by Lin similarity damped below the anchor's
-// score so expansions never outrank direct matches.
-func (e *Engine) expandSemantically(cands []ContextScore, opts Options) []ContextScore {
+// score so expansions never outrank direct matches. The scan over all
+// scored contexts checks cancellation periodically.
+func (e *Engine) expandSemantically(ctx context.Context, cands []ContextScore, opts Options) ([]ContextScore, error) {
 	minSim := opts.MinExpandSim
 	if minSim <= 0 {
 		minSim = 0.5
@@ -212,12 +241,19 @@ func (e *Engine) expandSemantically(cands []ContextScore, opts Options) []Contex
 	}
 	onto := e.cs.Ontology()
 	var extra []ContextScore
-	for ctx := range e.termTokens {
-		if have[ctx] {
+	visited := 0
+	for tid := range e.termTokens {
+		if visited&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		visited++
+		if have[tid] {
 			continue
 		}
-		if lin := onto.LinSimilarity(anchor.Context, ctx); lin >= minSim {
-			extra = append(extra, ContextScore{ctx, anchor.Score * lin * 0.9})
+		if lin := onto.LinSimilarity(anchor.Context, tid); lin >= minSim {
+			extra = append(extra, ContextScore{tid, anchor.Score * lin * 0.9})
 		}
 	}
 	sort.Slice(extra, func(i, j int) bool {
@@ -228,7 +264,7 @@ func (e *Engine) expandSemantically(cands []ContextScore, opts Options) []Contex
 	})
 	out := append(cands, extra...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
-	return out
+	return out, nil
 }
 
 // unionBitset ORs the paper bitsets of the selected contexts.
@@ -250,13 +286,34 @@ func (e *Engine) unionBitset(ctxs []ContextScore) bitset.Set {
 // membership, with the per-context relevancy computation fanned over a
 // worker pool and merged deterministically in context order.
 func (e *Engine) Search(query string, opts Options) []Result {
-	ctxs := e.SelectContexts(query, opts)
+	out, _ := e.SearchContext(context.Background(), query, opts)
+	return out
+}
+
+// SearchContext is Search with cooperative cancellation threaded through
+// every stage — context selection, the union index pass, and the parallel
+// per-context scoring pool — so an abandoned or deadline-expired query
+// stops within a few scoring rows instead of running to completion. A
+// completed call returns exactly the results Search would (the golden
+// tests pin this); a cancelled call returns (nil, ctx.Err()).
+func (e *Engine) SearchContext(ctx context.Context, query string, opts Options) ([]Result, error) {
+	ctxs, err := e.SelectContextsContext(ctx, query, opts)
+	if err != nil {
+		return nil, err
+	}
 	if len(ctxs) == 0 {
-		return nil
+		return nil, nil
 	}
 	qv := e.ix.Analyzer().QueryVector(query)
-	hits := e.ix.SearchVector(qv, index.Options{WithinSet: e.unionBitset(ctxs)})
-	return paginate(e.mergeHits(ctxs, hits, opts), opts)
+	hits, err := e.ix.SearchVectorContext(ctx, qv, index.Options{WithinSet: e.unionBitset(ctxs)})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := e.mergeHits(ctx, ctxs, hits, opts)
+	if err != nil {
+		return nil, err
+	}
+	return paginate(merged, opts), nil
 }
 
 // SearchBoolean runs a context-based search with a boolean query (the
@@ -267,19 +324,32 @@ func (e *Engine) Search(query string, opts Options) []Result {
 // Like Search, the boolean evaluation and text scoring run once over the
 // union of the selected contexts instead of once per context.
 func (e *Engine) SearchBoolean(query string, opts Options) ([]Result, error) {
+	return e.SearchBooleanContext(context.Background(), query, opts)
+}
+
+// SearchBooleanContext is SearchBoolean with cooperative cancellation (see
+// SearchContext for the semantics).
+func (e *Engine) SearchBooleanContext(ctx context.Context, query string, opts Options) ([]Result, error) {
 	q, err := e.ix.ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	ctxs := e.SelectContexts(query, opts)
-	if len(ctxs) == 0 {
-		return nil, nil
-	}
-	hits, err := e.ix.SearchQuery(q, index.Options{WithinSet: e.unionBitset(ctxs)})
+	ctxs, err := e.SelectContextsContext(ctx, query, opts)
 	if err != nil {
 		return nil, err
 	}
-	return paginate(e.mergeHits(ctxs, hits, opts), opts), nil
+	if len(ctxs) == 0 {
+		return nil, nil
+	}
+	hits, err := e.ix.SearchQueryContext(ctx, q, index.Options{WithinSet: e.unionBitset(ctxs)})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := e.mergeHits(ctx, ctxs, hits, opts)
+	if err != nil {
+		return nil, err
+	}
+	return paginate(merged, opts), nil
 }
 
 // mergeHits turns one union-pass hit list into ranked results: for every
@@ -289,11 +359,16 @@ func (e *Engine) SearchBoolean(query string, opts Options) ([]Result, error) {
 // per-context partials are computed by a worker pool; the merge visits
 // contexts in selection order, so the output is deterministic and
 // independent of worker scheduling.
-func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) []Result {
+//
+// Cancellation: workers check ctx between context merges (skipping rows
+// once it fires) and the feeder stops handing out work, so the pool drains
+// promptly with no goroutine leaks; the final merge loop also checks
+// periodically. A cancelled call returns (nil, ctx.Err()).
+func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []index.Hit, opts Options) ([]Result, error) {
 	if len(hits) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
-	// partial[i][j] is the effective prestige of hits[j] in ctxs[i], NaN
+	// partial[i][j] is the effective prestige of hits[j] in ctxs[i], -1
 	// when the paper is outside the context. Workers write disjoint rows.
 	partial := make([][]float64, len(ctxs))
 	member := make([]bitset.Set, len(ctxs))
@@ -301,6 +376,9 @@ func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) 
 		member[i] = e.cs.PaperBitset(c.Context)
 	}
 	scoreCtx := func(i int) {
+		if h := scoreRowHook; h != nil {
+			h()
+		}
 		row := make([]float64, len(hits))
 		c := ctxs[i]
 		for j, h := range hits {
@@ -323,27 +401,44 @@ func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) 
 	if workers > len(ctxs) {
 		workers = len(ctxs)
 	}
-	if workers <= 1 || len(ctxs)*len(hits) < 4096 {
+	if workers <= 1 || len(ctxs)*len(hits) < parallelMergeThreshold {
 		for i := range ctxs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			scoreCtx(i)
 		}
 	} else {
 		var wg sync.WaitGroup
 		work := make(chan int)
+		done := ctx.Done()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range work {
+					// Check between context merges; keep receiving so the
+					// feeder never blocks on a dead pool.
+					if ctx.Err() != nil {
+						continue
+					}
 					scoreCtx(i)
 				}
 			}()
 		}
+	feed:
 		for i := range ctxs {
-			work <- i
+			select {
+			case work <- i:
+			case <-done:
+				break feed
+			}
 		}
 		close(work)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Deterministic merge in context selection order: per paper, the
@@ -351,6 +446,11 @@ func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) 
 	// order of the naive sequential loop.
 	out := make([]Result, 0, len(hits))
 	for j, h := range hits {
+		if j&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		bestI := -1
 		var bestR float64
 		for i := range ctxs {
@@ -378,7 +478,7 @@ func (e *Engine) mergeHits(ctxs []ContextScore, hits []index.Hit, opts Options) 
 		})
 	}
 	sortResults(out)
-	return out
+	return out, nil
 }
 
 // sortResults orders results by descending relevancy, ties by ascending

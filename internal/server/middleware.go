@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code and whether anything was written,
+// for request logging and for recovery's "can I still write a 500?" check.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.status = http.StatusOK
+		sr.wrote = true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// withLogging logs every request with status and latency. A handler that
+// wrote nothing (client abandoned the request) is logged as 499,
+// nginx-style.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if !rec.wrote {
+			status = 499
+		}
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withRecovery turns a handler panic into a logged 500 instead of killing
+// the process (net/http would only kill the connection's goroutine, but a
+// panic during response writing can still leave a half-written reply, and
+// panics outside an http.Server — e.g. under httptest recorders — would
+// propagate). http.ErrAbortHandler keeps its conventional meaning.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if sr, ok := w.(*statusRecorder); !ok || !sr.wrote {
+				writeErr(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withShedding bounds concurrently served requests with a semaphore and
+// sheds the excess immediately with 429 + Retry-After — under overload a
+// fast rejection beats a queued request that will only time out later.
+func (s *Server) withShedding(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "server overloaded (%d requests in flight)", cap(s.inflight))
+		}
+	})
+}
+
+// withTimeout attaches the per-request deadline to the request context. The
+// handlers thread that context through the scoring pipeline and map its
+// expiry to a 503 (writeQueryErr), so a slow or abandoned query stops
+// computing instead of running to completion.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	d := s.cfg.queryTimeout()
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

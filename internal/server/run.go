@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RunConfig configures Run's http.Server and shutdown behaviour. Zero
+// values take the defaults below; WriteTimeout should stay comfortably
+// above Config.QueryTimeout so deadline-expired queries can still deliver
+// their 503.
+type RunConfig struct {
+	ReadTimeout     time.Duration // default 5s (full request read)
+	WriteTimeout    time.Duration // default 30s
+	IdleTimeout     time.Duration // default 120s (keep-alive connections)
+	ShutdownTimeout time.Duration // default 10s (drain window on shutdown)
+	// OnListen, when set, receives the bound address before serving starts
+	// — with ":0" this is the only way to learn the chosen port.
+	OnListen func(net.Addr)
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Run serves h on addr until ctx is cancelled (e.g. by SIGINT/SIGTERM via
+// signal.NotifyContext), then shuts down gracefully: the listener closes,
+// in-flight requests get up to ShutdownTimeout to finish, and only then are
+// stragglers cut off. Returns nil on a clean drain, the serve error if the
+// listener fails first.
+func Run(ctx context.Context, addr string, h http.Handler, cfg RunConfig) error {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	hs := &http.Server{
+		Handler:      h,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		IdleTimeout:  cfg.IdleTimeout,
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.ShutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}

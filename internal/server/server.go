@@ -6,37 +6,133 @@
 //	GET /contexts?q=...                     selected contexts for a query
 //	GET /papers/{id}                        one paper with contexts & scores
 //	GET /stats                              corpus/context statistics
-//	GET /healthz                            liveness
+//	GET /healthz                            liveness (always 200)
+//	GET /readyz                             readiness (200 once the engine is built)
+//
+// The serving path is production-hardened: every API request runs under a
+// deadline (Config.QueryTimeout) that cancels the scoring pipeline and
+// returns 503, a semaphore sheds excess load with 429 + Retry-After
+// (Config.MaxInflight), panics are recovered into 500s, and requests are
+// logged with status and latency. /healthz and /readyz bypass shedding and
+// deadlines so probes keep answering under overload. Run serves a handler
+// with sane HTTP timeouts and graceful, draining shutdown.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ctxsearch"
 	"ctxsearch/internal/index"
 )
 
-// Server wires the search engine into an http.Handler.
-type Server struct {
+// Defaults for Config's zero values.
+const (
+	DefaultQueryTimeout = 2 * time.Second
+	DefaultMaxInflight  = 64
+)
+
+// Paging caps: /search rejects limit/offset above these with 400 instead of
+// building adversarially large result pages.
+const (
+	MaxLimit  = 1000
+	MaxOffset = 100000
+)
+
+// Config tunes the serving middleware stack.
+type Config struct {
+	// QueryTimeout bounds each API request; on expiry the request gets a
+	// 503 and the scoring pipeline is cancelled (0 = DefaultQueryTimeout,
+	// negative = no deadline).
+	QueryTimeout time.Duration
+	// MaxInflight caps concurrently served API requests; excess requests
+	// are shed immediately with 429 + Retry-After (0 = DefaultMaxInflight,
+	// negative = unlimited).
+	MaxInflight int
+	// Logger receives request and panic logs (nil = discard).
+	Logger *log.Logger
+}
+
+func (c Config) queryTimeout() time.Duration {
+	if c.QueryTimeout == 0 {
+		return DefaultQueryTimeout
+	}
+	if c.QueryTimeout < 0 {
+		return 0
+	}
+	return c.QueryTimeout
+}
+
+func (c Config) maxInflight() int {
+	if c.MaxInflight == 0 {
+		return DefaultMaxInflight
+	}
+	if c.MaxInflight < 0 {
+		return 0
+	}
+	return c.MaxInflight
+}
+
+// backend bundles the query-serving state; it is swapped in atomically once
+// the engine is built, flipping /readyz to 200.
+type backend struct {
 	sys    *ctxsearch.System
 	cs     *ctxsearch.ContextSet
 	scores ctxsearch.Scores
 	engine *ctxsearch.Engine
-	mux    *http.ServeMux
 }
 
-// New assembles the server.
+// Server wires the search engine into an http.Handler behind the
+// middleware stack.
+type Server struct {
+	cfg      Config
+	logger   *log.Logger
+	mux      *http.ServeMux
+	handler  http.Handler
+	inflight chan struct{}
+	backend  atomic.Pointer[backend]
+	// testHook, when non-nil, runs inside handleSearch before the engine
+	// call — the fault-injection point the server tests use to simulate
+	// slow queries. Production code never sets it.
+	testHook func(ctx context.Context)
+}
+
+// New assembles a ready server with default Config.
 func New(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Scores) *Server {
+	return NewWithConfig(sys, cs, scores, Config{})
+}
+
+// NewWithConfig assembles a ready server with the given Config.
+func NewWithConfig(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Scores, cfg Config) *Server {
+	s := NewPending(cfg)
+	s.SetReady(sys, cs, scores)
+	return s
+}
+
+// NewPending assembles a server with no engine yet: /healthz answers 200,
+// /readyz and every API endpoint answer 503 until SetReady is called. This
+// lets a deployment bind its port (liveness) while the index and prestige
+// scores are still being built or loaded.
+func NewPending(cfg Config) *Server {
 	s := &Server{
-		sys:    sys,
-		cs:     cs,
-		scores: scores,
-		engine: sys.Engine(cs, scores),
+		cfg:    cfg,
+		logger: cfg.Logger,
 		mux:    http.NewServeMux(),
+	}
+	if s.logger == nil {
+		s.logger = log.New(io.Discard, "", 0)
+	}
+	if n := cfg.maxInflight(); n > 0 {
+		s.inflight = make(chan struct{}, n)
 	}
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /contexts", s.handleContexts)
@@ -46,11 +142,59 @@ func New(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Score
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	// Middleware stack: probes bypass shedding and deadlines (they must
+	// answer while the API is saturated); recovery and logging wrap
+	// everything.
+	api := s.withShedding(s.withTimeout(s.mux))
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/readyz":
+			s.mux.ServeHTTP(w, r)
+		default:
+			api.ServeHTTP(w, r)
+		}
+	})
+	s.handler = s.withLogging(s.withRecovery(root))
 	return s
 }
 
+// SetReady installs the engine state, flipping /readyz (and the API) live.
+// Safe to call concurrently with serving.
+func (s *Server) SetReady(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Scores) {
+	s.backend.Store(&backend{
+		sys:    sys,
+		cs:     cs,
+		scores: scores,
+		engine: sys.Engine(cs, scores),
+	})
+}
+
+// Ready reports whether the engine state is installed.
+func (s *Server) Ready() bool { return s.backend.Load() != nil }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+}
+
+// ready returns the backend, or writes a 503 and returns nil while the
+// engine is still being built.
+func (s *Server) ready(w http.ResponseWriter) *backend {
+	b := s.backend.Load()
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "engine not ready")
+	}
+	return b
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -60,6 +204,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeQueryErr maps a search-pipeline error to a response: an expired
+// deadline is a 503 (the request was accepted but could not be answered in
+// time), a client cancellation gets no response at all (the peer is gone),
+// anything else is a 400 (bad query).
+func (s *Server) writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.logger.Printf("client abandoned %s %s", r.Method, r.URL.Path)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad query: %v", err)
+	}
 }
 
 // SearchResponse is the /search payload.
@@ -83,6 +243,10 @@ type SearchResult struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	b := s.ready(w)
+	if b == nil {
+		return
+	}
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
@@ -95,12 +259,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
 			return
 		}
+		if n > MaxLimit {
+			writeErr(w, http.StatusBadRequest, "limit %d exceeds maximum %d", n, MaxLimit)
+			return
+		}
 		opts.Limit = n
 	}
 	if v := r.URL.Query().Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeErr(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		if n > MaxOffset {
+			writeErr(w, http.StatusBadRequest, "offset %d exceeds maximum %d", n, MaxOffset)
 			return
 		}
 		opts.Offset = n
@@ -113,31 +285,41 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Threshold = t
 	}
+	ctx := r.Context()
+	if s.testHook != nil {
+		s.testHook(ctx)
+	}
 	var results []ctxsearch.SearchResult
+	var err error
 	if v := r.URL.Query().Get("boolean"); v == "1" || v == "true" {
-		var err error
-		results, err = s.engine.SearchBoolean(q, opts)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad boolean query: %v", err)
-			return
-		}
+		results, err = b.engine.SearchBooleanContext(ctx, q, opts)
 	} else {
-		results = s.engine.Search(q, opts)
+		results, err = b.engine.SearchContext(ctx, q, opts)
+	}
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
 	}
 	resp := SearchResponse{Query: q, Results: []SearchResult{}}
 	for _, res := range results {
-		p := s.sys.Corpus.Paper(res.Doc)
+		// Snippet extraction re-reads document text: keep honouring the
+		// deadline while building the response.
+		if err := ctx.Err(); err != nil {
+			s.writeQueryErr(w, r, err)
+			return
+		}
+		p := b.sys.Corpus.Paper(res.Doc)
 		resp.Results = append(resp.Results, SearchResult{
 			PaperID:     int(res.Doc),
 			PMID:        p.PMID,
 			Year:        p.Year,
 			Title:       p.Title,
-			Snippet:     s.sys.Index().Snippet(res.Doc, q, index.SnippetOptions{Window: 24, Pre: "**", Post: "**"}),
+			Snippet:     b.sys.Index().Snippet(res.Doc, q, index.SnippetOptions{Window: 24, Pre: "**", Post: "**"}),
 			Relevancy:   res.Relevancy,
 			Prestige:    res.Prestige,
 			Match:       res.Match,
 			Context:     string(res.Context),
-			ContextName: s.sys.Ontology.Term(res.Context).Name,
+			ContextName: b.sys.Ontology.Term(res.Context).Name,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -153,20 +335,29 @@ type ContextInfo struct {
 }
 
 func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
+	b := s.ready(w)
+	if b == nil {
+		return
+	}
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
 		return
 	}
+	sel, err := b.engine.SelectContextsContext(r.Context(), q, ctxsearch.SearchOptions{})
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
 	out := []ContextInfo{}
-	for _, sel := range s.engine.SelectContexts(q, ctxsearch.SearchOptions{}) {
-		t := s.sys.Ontology.Term(sel.Context)
+	for _, c := range sel {
+		t := b.sys.Ontology.Term(c.Context)
 		out = append(out, ContextInfo{
-			Term:   string(sel.Context),
+			Term:   string(c.Context),
 			Name:   t.Name,
-			Level:  s.sys.Ontology.Level(sel.Context),
-			Papers: s.cs.Size(sel.Context),
-			Score:  sel.Score,
+			Level:  b.sys.Ontology.Level(c.Context),
+			Papers: b.cs.Size(c.Context),
+			Score:  c.Score,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -193,13 +384,17 @@ type PaperContext struct {
 }
 
 func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
+	b := s.ready(w)
+	if b == nil {
+		return
+	}
 	idStr := r.PathValue("id")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad paper id %q", idStr)
 		return
 	}
-	p := s.sys.Corpus.Paper(ctxsearch.PaperID(id))
+	p := b.sys.Corpus.Paper(ctxsearch.PaperID(id))
 	if p == nil {
 		writeErr(w, http.StatusNotFound, "no paper %d", id)
 		return
@@ -215,14 +410,14 @@ func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
 	for _, ref := range p.References {
 		resp.References = append(resp.References, int(ref))
 	}
-	for _, c := range s.sys.Corpus.CitedBy(p.ID) {
+	for _, c := range b.sys.Corpus.CitedBy(p.ID) {
 		resp.CitedBy = append(resp.CitedBy, int(c))
 	}
-	for _, ctx := range s.cs.ContextsOf(p.ID) {
+	for _, ctx := range b.cs.ContextsOf(p.ID) {
 		resp.Contexts = append(resp.Contexts, PaperContext{
 			Term:     string(ctx),
-			Name:     s.sys.Ontology.Term(ctx).Name,
-			Prestige: s.scores.Get(ctx, p.ID),
+			Name:     b.sys.Ontology.Term(ctx).Name,
+			Prestige: b.scores.Get(ctx, p.ID),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -238,11 +433,15 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	b := s.ready(w)
+	if b == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Papers:         s.sys.Corpus.Len(),
-		OntologyTerms:  s.sys.Ontology.Len(),
-		Contexts:       len(s.cs.Contexts()),
-		ScoredContexts: len(s.scores),
-		ContextSetKind: s.cs.Kind().String(),
+		Papers:         b.sys.Corpus.Len(),
+		OntologyTerms:  b.sys.Ontology.Len(),
+		Contexts:       len(b.cs.Contexts()),
+		ScoredContexts: len(b.scores),
+		ContextSetKind: b.cs.Kind().String(),
 	})
 }

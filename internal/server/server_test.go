@@ -10,29 +10,42 @@ import (
 )
 
 var (
+	cachedSys    *ctxsearch.System
+	cachedCS     *ctxsearch.ContextSet
+	cachedScores ctxsearch.Scores
 	cachedServer *Server
 	cachedQuery  string
 )
 
+// testState builds (once) the engine state shared by every server fixture,
+// so fault tests can wrap it in servers with different Configs.
+func testState(t *testing.T) (*ctxsearch.System, *ctxsearch.ContextSet, ctxsearch.Scores, string) {
+	t.Helper()
+	if cachedSys == nil {
+		cfg := ctxsearch.DefaultConfig()
+		cfg.Papers = 200
+		cfg.OntologyTerms = 50
+		cfg.MaxDepth = 6
+		cfg.MinContextSize = 3
+		sys, err := ctxsearch.NewSyntheticSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSys = sys
+		cachedCS = sys.BuildTextContextSet()
+		cachedScores = sys.ScoreText(cachedCS)
+		cachedQuery = sys.Ontology.Term(cachedScores.Contexts()[0]).Name
+	}
+	return cachedSys, cachedCS, cachedScores, cachedQuery
+}
+
 func testServer(t *testing.T) (*Server, string) {
 	t.Helper()
-	if cachedServer != nil {
-		return cachedServer, cachedQuery
+	sys, cs, scores, query := testState(t)
+	if cachedServer == nil {
+		cachedServer = New(sys, cs, scores)
 	}
-	cfg := ctxsearch.DefaultConfig()
-	cfg.Papers = 200
-	cfg.OntologyTerms = 50
-	cfg.MaxDepth = 6
-	cfg.MinContextSize = 3
-	sys, err := ctxsearch.NewSyntheticSystem(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cs := sys.BuildTextContextSet()
-	scores := sys.ScoreText(cs)
-	cachedServer = New(sys, cs, scores)
-	cachedQuery = sys.Ontology.Term(scores.Contexts()[0]).Name
-	return cachedServer, cachedQuery
+	return cachedServer, query
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
@@ -81,6 +94,17 @@ func TestSearchValidation(t *testing.T) {
 	}
 	if rec := get(t, s, "/search?q="+urlQuery(query)+"&threshold=2"); rec.Code != 400 {
 		t.Fatalf("bad threshold = %d", rec.Code)
+	}
+	// Paging caps: adversarially large limit/offset are rejected, the caps
+	// themselves are accepted.
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&limit=1001"); rec.Code != 400 {
+		t.Fatalf("over-cap limit = %d", rec.Code)
+	}
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&offset=100001"); rec.Code != 400 {
+		t.Fatalf("over-cap offset = %d", rec.Code)
+	}
+	if rec := get(t, s, "/search?q="+urlQuery(query)+"&limit=1000&offset=100000"); rec.Code != 200 {
+		t.Fatalf("at-cap paging = %d: %s", rec.Code, rec.Body)
 	}
 }
 

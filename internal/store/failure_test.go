@@ -2,6 +2,10 @@ package store
 
 import (
 	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -23,6 +27,93 @@ func TestTruncatedStreams(t *testing.T) {
 		if err == nil {
 			t.Fatalf("truncation at %d bytes loaded successfully", off)
 		}
+	}
+}
+
+// TestWrongMagic: a structurally valid gob stream that is not a ctxsearch
+// state must be rejected with a message naming the magic actually found.
+func TestWrongMagic(t *testing.T) {
+	o, _ := fixture(t)
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(header{Magic: "not-a-state", Version: version}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, o)
+	if err == nil {
+		t.Fatal("wrong magic loaded successfully")
+	}
+	if !strings.Contains(err.Error(), `"not-a-state"`) {
+		t.Fatalf("error does not name the found magic: %v", err)
+	}
+}
+
+// TestTruncationDiagnostics: errors from cut-off streams must say the file
+// is truncated — and, once the header survived, what magic/version it
+// carried — so operators can tell a crashed save from the wrong file.
+func TestTruncationDiagnostics(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Recover the header's encoded length by encoding it alone.
+	var hdrOnly bytes.Buffer
+	if err := gob.NewEncoder(&hdrOnly).Encode(header{Magic: "ctxsearch-state", Version: version}); err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-header: classified as truncated, no magic available yet.
+	_, err := Load(bytes.NewReader(full[:hdrOnly.Len()/2]), o)
+	if err == nil || !strings.Contains(err.Error(), "truncated file") {
+		t.Fatalf("mid-header cut not reported as truncation: %v", err)
+	}
+	// Cut mid-payload: truncated, and the intact header is echoed back.
+	_, err = Load(bytes.NewReader(full[:hdrOnly.Len()+(len(full)-hdrOnly.Len())/2]), o)
+	if err == nil {
+		t.Fatal("mid-payload cut loaded successfully")
+	}
+	for _, want := range []string{"truncated file", `"ctxsearch-state"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mid-payload error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestSaveFileAtomic: SaveFile must leave exactly the named file behind — a
+// loadable state with no stray temp files — including when it replaces an
+// existing (possibly corrupt) state.
+func TestSaveFileAtomic(t *testing.T) {
+	o, st := fixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.gob")
+	// Pre-existing garbage at the target simulates an earlier bad write.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, o); err != nil {
+		t.Fatalf("state written by SaveFile does not load: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("stray files after SaveFile: %v", names)
+	}
+	// A failing save (unwritable directory) must not leave temp droppings.
+	if err := SaveFile(filepath.Join(dir, "missing", "state.gob"), st); err == nil {
+		t.Fatal("save into missing directory must fail")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("failed save left %d entries", len(entries))
 	}
 }
 

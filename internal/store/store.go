@@ -8,9 +8,11 @@ package store
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"ctxsearch/internal/contextset"
 	"ctxsearch/internal/ontology"
@@ -54,23 +56,36 @@ func Save(w io.Writer, st *State) error {
 	return nil
 }
 
+// corruptionHint classifies a gob decode failure so diagnostics say whether
+// the file ends early (crash mid-write, partial copy) or is garbled.
+func corruptionHint(err error) string {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return "truncated file"
+	}
+	return "corrupt gob stream"
+}
+
 // Load reads a state previously written by Save, rebinding the context set
 // to the given ontology (which must be the one the state was built from).
+// Decode failures are wrapped with what was found — the magic and version
+// when the header survived, or a truncation/corruption classification — so
+// a corrupted -state file produces an actionable message.
 func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 	dec := gob.NewDecoder(r)
 	var h header
 	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("store: decoding header: %w", err)
+		return nil, fmt.Errorf("store: decoding header (%s, not a ctxsearch state?): %w", corruptionHint(err), err)
 	}
 	if h.Magic != "ctxsearch-state" {
-		return nil, fmt.Errorf("store: bad magic %q", h.Magic)
+		return nil, fmt.Errorf("store: bad magic %q (want %q)", h.Magic, "ctxsearch-state")
 	}
 	if h.Version != version {
 		return nil, fmt.Errorf("store: unsupported version %d (want %d)", h.Version, version)
 	}
 	var p payload
 	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("store: decoding payload: %w", err)
+		return nil, fmt.Errorf("store: decoding payload after header (magic %q, version %d): %s: %w",
+			h.Magic, h.Version, corruptionHint(err), err)
 	}
 	cs, err := contextset.FromSnapshot(onto, p.Snapshot)
 	if err != nil {
@@ -79,17 +94,34 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 	return &State{ContextSet: cs, Scores: p.Scores}, nil
 }
 
-// SaveFile writes the state to path.
-func SaveFile(path string, st *State) error {
-	f, err := os.Create(path)
+// SaveFile writes the state to path crash-safely: the gob stream goes to a
+// temp file in the same directory, is synced, and is renamed into place, so
+// a crash mid-save leaves either the old state or none — never a truncated
+// file that Load rejects on the next boot.
+func SaveFile(path string, st *State) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := Save(f, st); err != nil {
+	defer func() {
+		if err != nil {
+			tmp.Close()           // no-op if already closed
+			os.Remove(tmp.Name()) // no-op if already renamed
+		}
+	}()
+	if err = Save(tmp, st); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: installing %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadFile reads a state from path.

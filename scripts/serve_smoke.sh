@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Black-box smoke test of `ctxsearch serve`: builds the real binary, boots
+# it on an ephemeral port, waits for /readyz to flip, exercises the API and
+# its limit validation with curl, then sends SIGTERM and requires a clean
+# (graceful) exit. Run via `make serve-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+bin="$workdir/ctxsearch"
+logfile="$workdir/serve.log"
+pid=""
+
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$logfile" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building binary"
+go build -o "$bin" ./cmd/ctxsearch
+
+echo "serve-smoke: booting server on an ephemeral port"
+"$bin" -papers 300 -terms 60 -addr 127.0.0.1:0 serve >"$logfile" 2>&1 &
+pid=$!
+
+# The listen line appears as soon as the port binds (before the engine is
+# built); readiness flips later via /readyz.
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$logfile" | head -n1)"
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || fail "server exited before listening"
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "never saw the listening line"
+base="http://$addr"
+echo "serve-smoke: listening on $addr"
+
+# Liveness must answer even before readiness.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz")"
+[[ "$code" == "200" ]] || fail "/healthz = $code, want 200"
+
+for _ in $(seq 1 100); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz")"
+    [[ "$code" == "200" ]] && break
+    sleep 0.1
+done
+[[ "$code" == "200" ]] || fail "/readyz never flipped to 200 (last $code)"
+echo "serve-smoke: ready"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/search?q=transcription&limit=5")"
+[[ "$code" == "200" ]] || fail "/search = $code, want 200"
+
+# Validation: an over-cap limit is a client error, not a 500.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/search?q=transcription&limit=1001")"
+[[ "$code" == "400" ]] || fail "over-cap limit = $code, want 400"
+
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/stats")"
+[[ "$code" == "200" ]] || fail "/stats = $code, want 200"
+
+echo "serve-smoke: SIGTERM"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    fail "server still running 10s after SIGTERM"
+fi
+wait "$pid" || fail "server exited non-zero after SIGTERM"
+pid=""
+
+echo "serve-smoke: PASS"
