@@ -1,12 +1,14 @@
 # Developer entry points. `make verify` is the tier-1 gate every PR must
 # keep green; it includes a -race pass over the parallelized query path
 # (internal/search fans per-context scoring over a worker pool and
-# internal/index pools accumulators across goroutines) and over the
-# serving path (middleware stack, graceful shutdown, fault injection).
+# internal/index pools accumulators across goroutines), over the serving
+# path (middleware stack, graceful shutdown, fault injection), and over the
+# arena-reusing offline scoring pipeline (internal/prestige workers hand
+# pooled citegraph scratch buffers between goroutines).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query serve-smoke
+.PHONY: verify build test vet race bench bench-query bench-prestige serve-smoke
 
 verify: vet build test race
 
@@ -20,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./cmd/ctxsearch/...
+	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./cmd/ctxsearch/...
 
 # Black-box smoke test of the serve command: boots the real binary, waits
 # for readiness, exercises the HTTP API with curl, and checks that SIGTERM
@@ -36,3 +38,12 @@ bench:
 bench-query:
 	$(GO) test -run xxx -bench 'BenchmarkSelectContexts|BenchmarkEngineSearch' -benchmem ./internal/search/
 	$(GO) test -run xxx -bench 'BenchmarkIndexSearchVector' -benchmem ./internal/index/
+
+# The prestige-pipeline benchmarks behind BENCH_PR3.json: the CSR-matrix
+# query merge, map-vs-matrix lookups, the arena-reusing subgraph+PageRank
+# pipeline, bulk scoring at >= 1k contexts, and v1-vs-v2 state load.
+bench-prestige:
+	$(GO) test -run xxx -bench 'BenchmarkMergeHitsPrestige' -benchmem ./internal/search/
+	$(GO) test -run xxx -bench 'BenchmarkPrestigeLookup|BenchmarkScoreAllParallel1kContexts' -benchmem ./internal/prestige/
+	$(GO) test -run xxx -bench 'BenchmarkSubgraphPageRankPipeline|BenchmarkSubgraphScratch' -benchmem ./internal/citegraph/
+	$(GO) test -run xxx -bench 'BenchmarkLoad|BenchmarkSave' -benchmem ./internal/store/

@@ -82,9 +82,11 @@ func main() {
 }
 
 type app struct {
-	sys     *ctxsearch.System
-	cs      *ctxsearch.ContextSet
-	scores  ctxsearch.Scores
+	sys *ctxsearch.System
+	cs  *ctxsearch.ContextSet
+	// matrix is the frozen CSR prestige matrix — computed scores are frozen
+	// once after scoring, loaded state hands the matrix over directly.
+	matrix  *ctxsearch.Matrix
 	engine  *ctxsearch.Engine
 	limit   int
 	boolean bool
@@ -156,7 +158,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	if err := a.prepare(*setKind, *scoreFn, *statePath); err != nil {
 		return err
 	}
-	a.engine = sys.Engine(a.cs, a.scores)
+	a.engine = sys.EngineFrozen(a.cs, a.matrix)
 
 	switch cmd {
 	case "search":
@@ -228,7 +230,7 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 			cancel()
 			return
 		}
-		srv.SetReady(sys, a.cs, a.scores)
+		srv.SetReadyFrozen(sys, a.cs, a.matrix)
 		fmt.Fprintln(out, "engine ready")
 		buildErr <- nil
 	}()
@@ -313,8 +315,9 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 }
 
 // prepare builds (or loads from statePath) the context set and prestige
-// scores for the chosen kind and function, persisting freshly computed
-// state when statePath is given.
+// matrix for the chosen kind and function, persisting freshly computed
+// state when statePath is given. A loaded v2 state hands its CSR matrix
+// straight to the engine; a legacy v1 state is frozen by store.Load.
 func (a *app) prepare(setKind, scoreFn, statePath string) error {
 	if statePath != "" {
 		if _, err := os.Stat(statePath); err == nil {
@@ -322,12 +325,12 @@ func (a *app) prepare(setKind, scoreFn, statePath string) error {
 			if err != nil {
 				return fmt.Errorf("loading %s: %w", statePath, err)
 			}
-			scores, ok := st.Scores[scoreFn]
-			if !ok {
-				return fmt.Errorf("state %s has no %q scores (has: %d functions)", statePath, scoreFn, len(st.Scores))
+			m := st.Matrix(scoreFn)
+			if m == nil {
+				return fmt.Errorf("state %s has no %q scores (has: %d functions)", statePath, scoreFn, len(st.Matrices))
 			}
 			a.cs = st.ContextSet
-			a.scores = scores
+			a.matrix = m
 			return nil
 		}
 	}
@@ -339,18 +342,20 @@ func (a *app) prepare(setKind, scoreFn, statePath string) error {
 	default:
 		return fmt.Errorf("unknown context set %q", setKind)
 	}
+	var scores ctxsearch.Scores
 	switch scoreFn {
 	case "text":
-		a.scores = a.sys.ScoreText(a.cs)
+		scores = a.sys.ScoreText(a.cs)
 	case "citation":
-		a.scores = a.sys.ScoreCitation(a.cs)
+		scores = a.sys.ScoreCitation(a.cs)
 	case "pattern":
-		a.scores = a.sys.ScorePattern(a.cs)
+		scores = a.sys.ScorePattern(a.cs)
 	default:
 		return fmt.Errorf("unknown score function %q", scoreFn)
 	}
+	a.matrix = scores.Freeze()
 	if statePath != "" {
-		st := &store.State{ContextSet: a.cs, Scores: map[string]ctxsearch.Scores{scoreFn: a.scores}}
+		st := &store.State{ContextSet: a.cs, Matrices: map[string]*ctxsearch.Matrix{scoreFn: a.matrix}}
 		if err := store.SaveFile(statePath, st); err != nil {
 			return fmt.Errorf("saving %s: %w", statePath, err)
 		}
@@ -427,7 +432,7 @@ func (a *app) inspect(out io.Writer, args []string) error {
 	fmt.Fprintf(out, "refs:     %d out, %d in\n", len(p.References), len(a.sys.Corpus.CitedBy(p.ID)))
 	fmt.Fprintf(out, "contexts:\n")
 	for _, ctx := range a.cs.ContextsOf(p.ID) {
-		score := a.scores.Get(ctx, p.ID)
+		score := a.matrix.Get(ctx, p.ID)
 		fmt.Fprintf(out, "  %s %q prestige %.3f\n", ctx, a.sys.Ontology.Term(ctx).Name, score)
 	}
 	return nil
@@ -446,7 +451,7 @@ func (a *app) stats(out io.Writer) error {
 	ctxs := a.cs.Contexts()
 	fmt.Fprintf(out, "context set (%s): %d non-empty contexts\n", a.cs.Kind(), len(ctxs))
 	minSize := a.sys.MinContextSize()
-	fmt.Fprintf(out, "scored contexts (> %d papers): %d\n", minSize, len(a.scores))
+	fmt.Fprintf(out, "scored contexts (> %d papers): %d\n", minSize, a.matrix.NumContexts())
 	var sum int
 	for _, ctx := range ctxs {
 		sum += a.cs.Size(ctx)

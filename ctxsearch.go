@@ -52,8 +52,12 @@ type (
 	PaperID = corpus.PaperID
 	// ContextSet is a paper-to-context assignment.
 	ContextSet = contextset.ContextSet
-	// Scores holds per-context per-paper prestige scores.
+	// Scores holds per-context per-paper prestige scores (the map/builder
+	// form; freeze into a Matrix for the query path).
 	Scores = prestige.Scores
+	// Matrix is the frozen CSR form of Scores the query hot path and the v2
+	// state file use.
+	Matrix = prestige.Matrix
 	// Scorer computes prestige scores for a context.
 	Scorer = prestige.Scorer
 	// Engine is the context-based search engine.
@@ -234,9 +238,16 @@ func (s *System) ScoreText(cs *ContextSet) Scores { return s.score(s.TextScorer(
 func (s *System) ScorePattern(cs *ContextSet) Scores { return s.score(s.PatternScorer(), cs) }
 
 // Engine assembles the context-based search engine over a context set and
-// its prestige scores.
+// its prestige scores (freezing the map form into the query-time matrix).
 func (s *System) Engine(cs *ContextSet, scores Scores) *Engine {
 	return search.NewEngine(s.index, cs, scores, s.cfg.Relevancy)
+}
+
+// EngineFrozen assembles the engine directly from a frozen prestige matrix —
+// the cold-start path when the matrix came out of a v2 state file, skipping
+// the freeze entirely.
+func (s *System) EngineFrozen(cs *ContextSet, m *Matrix) *Engine {
+	return search.NewEngineFrozen(s.index, cs, m, s.cfg.Relevancy)
 }
 
 // BaselineTFIDF runs the whole-corpus TF-IDF keyword baseline.

@@ -57,6 +57,47 @@ func BenchmarkSubgraph(b *testing.B) {
 	}
 }
 
+func BenchmarkSubgraphScratch(b *testing.B) {
+	g := randomGraph(5000, 60000, 2)
+	nodes := make([]int, 500)
+	for i := range nodes {
+		nodes[i] = i * 10
+	}
+	s := NewScratch()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.SubgraphInto(nodes, s)
+	}
+}
+
+// BenchmarkSubgraphPageRankPipeline measures the full per-context offline
+// pipeline (extract induced subgraph, run PageRank) with and without the
+// reusable arena — the unit of work prestige.ScoreAllParallel repeats per
+// context. BENCH_PR3.json records the before/after numbers.
+func BenchmarkSubgraphPageRankPipeline(b *testing.B) {
+	g := randomGraph(5000, 60000, 2)
+	nodes := make([]int, 500)
+	for i := range nodes {
+		nodes[i] = i * 10
+	}
+	b.Run("map-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sub, _ := g.Subgraph(nodes)
+			_ = PageRank(sub, PageRankOpts{})
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		s := NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sub, _ := g.SubgraphInto(nodes, s)
+			_ = PageRankScratch(sub, PageRankOpts{}, s)
+		}
+	})
+}
+
 func BenchmarkBibliographicCoupling(b *testing.B) {
 	g := randomGraph(2000, 30000, 3)
 	b.ResetTimer()

@@ -64,13 +64,28 @@ func (o *PageRankOpts) defaults() {
 // citations) distribute their mass uniformly, the standard correction; an
 // empty graph returns nil and a single node gets score 1.
 func PageRank(g *Graph, opts PageRankOpts) []float64 {
+	return PageRankScratch(g, opts, nil)
+}
+
+// PageRankScratch is PageRank with the power-iteration vectors drawn from a
+// caller-owned arena, so a worker scoring thousands of per-context
+// subgraphs allocates its rank buffers once. The returned slice aliases the
+// arena and is only valid until its next use — copy out anything kept. A
+// nil scratch allocates fresh vectors (PageRank's behaviour); results are
+// bit-identical either way.
+func PageRankScratch(g *Graph, opts PageRankOpts, s *Scratch) []float64 {
 	opts.defaults()
 	n := g.Len()
 	if n == 0 {
 		return nil
 	}
-	p := make([]float64, n)
-	next := make([]float64, n)
+	var p, next []float64
+	if s != nil {
+		p, next = s.ranks(n)
+	} else {
+		p = make([]float64, n)
+		next = make([]float64, n)
+	}
 	for i := range p {
 		p[i] = 1 / float64(n)
 	}
@@ -120,6 +135,11 @@ func PageRank(g *Graph, opts PageRankOpts) []float64 {
 		if delta < opts.Tol {
 			break
 		}
+	}
+	if s != nil {
+		// The swaps may have crossed the arena's two vectors; hand them
+		// back so the next call reuses both.
+		s.p, s.next = p, next
 	}
 	normalizeL1(p)
 	return p

@@ -1,0 +1,124 @@
+package citegraph
+
+// Scratch is a reusable arena for the per-context pipeline of subgraph
+// extraction followed by PageRank. The offline prestige step runs that
+// pipeline over thousands of induced per-context subgraphs; with a Scratch
+// per worker, the position table, adjacency lists and rank vectors are
+// allocated once and reused across contexts instead of being rebuilt from
+// maps for every context.
+//
+// A Scratch is NOT safe for concurrent use: give each goroutine its own
+// (prestige pools them per worker). Everything returned by the
+// scratch-accepting variants — the subgraph, the node mapping, the rank
+// vector — aliases the arena and is only valid until the next call that
+// uses the same Scratch; callers must copy out anything they keep.
+type Scratch struct {
+	// pos is the dense node→subgraph-index table over the parent graph's
+	// nodes (-1 = not in the subgraph). It replaces the map[int]int the
+	// map-based Subgraph builds per call, and is sparse-reset after each
+	// extraction so growth is the only O(parent n) work ever done.
+	pos []int32
+	// uniq backs the new-index→original-node mapping.
+	uniq []int
+	// sub is the arena-owned subgraph; its adjacency rows keep their
+	// capacity across extractions.
+	sub Graph
+	// p and next back the PageRank power iteration.
+	p, next []float64
+	// ints is a general node-ID buffer (Ints) for callers converting typed
+	// IDs to graph nodes without a per-call allocation.
+	ints []int
+}
+
+// NewScratch returns an empty arena; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Ints returns a length-n reusable int buffer (contents unspecified). It
+// aliases the arena like everything else Scratch hands out.
+func (s *Scratch) Ints(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	s.ints = s.ints[:n]
+	return s.ints
+}
+
+// growPos ensures the position table covers nodes [0,n) with -1 entries.
+// Existing entries are already -1 (sparse reset invariant).
+func (s *Scratch) growPos(n int) {
+	if len(s.pos) >= n {
+		return
+	}
+	old := len(s.pos)
+	if cap(s.pos) >= n {
+		s.pos = s.pos[:n]
+	} else {
+		grown := make([]int32, n)
+		copy(grown, s.pos)
+		s.pos = grown
+	}
+	for i := old; i < n; i++ {
+		s.pos[i] = -1
+	}
+}
+
+// reset prepares the arena-owned subgraph for n nodes, truncating each
+// adjacency row to zero length while keeping its capacity.
+func (g *Graph) reset(n int) {
+	g.n = n
+	if cap(g.out) < n {
+		g.out = append(g.out[:cap(g.out)], make([][]int32, n-cap(g.out))...)
+		g.in = append(g.in[:cap(g.in)], make([][]int32, n-cap(g.in))...)
+	}
+	g.out = g.out[:n]
+	g.in = g.in[:n]
+	for i := 0; i < n; i++ {
+		g.out[i] = g.out[i][:0]
+		g.in[i] = g.in[i][:0]
+	}
+}
+
+// SubgraphInto is Subgraph writing into the arena: the induced subgraph
+// over nodes (deduplicated, out-of-range dropped) plus the new-index→
+// original-node mapping, both aliasing s. Edge and node order — and
+// therefore every float result computed over the subgraph — are identical
+// to Subgraph's. The parent graph must not contain duplicate edges (AddEdge
+// guarantees this), which lets the extraction append adjacency directly
+// instead of dedup-scanning per edge.
+func (g *Graph) SubgraphInto(nodes []int, s *Scratch) (*Graph, []int) {
+	s.growPos(g.n)
+	uniq := s.uniq[:0]
+	for _, n := range nodes {
+		if n < 0 || n >= g.n || s.pos[n] >= 0 {
+			continue
+		}
+		s.pos[n] = int32(len(uniq))
+		uniq = append(uniq, n)
+	}
+	s.uniq = uniq
+	sg := &s.sub
+	sg.reset(len(uniq))
+	for newI, origI := range uniq {
+		for _, j := range g.out[origI] {
+			if newJ := s.pos[j]; newJ >= 0 {
+				sg.out[newI] = append(sg.out[newI], newJ)
+				sg.in[newJ] = append(sg.in[newJ], int32(newI))
+			}
+		}
+	}
+	// Sparse reset: only entries touched by this extraction go back to -1,
+	// keeping the table ready for the next call at O(|nodes|) cost.
+	for _, n := range uniq {
+		s.pos[n] = -1
+	}
+	return sg, uniq
+}
+
+// ranks returns the two length-n iteration vectors, reusing the arena's.
+func (s *Scratch) ranks(n int) (p, next []float64) {
+	if cap(s.p) < n {
+		s.p = make([]float64, n)
+		s.next = make([]float64, n)
+	}
+	return s.p[:n], s.next[:n]
+}

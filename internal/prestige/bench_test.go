@@ -129,3 +129,72 @@ func BenchmarkPropagateMax(b *testing.B) {
 		_ = PropagateMax(f.onto, cp)
 	}
 }
+
+// bigFix builds a context set with over a thousand scored contexts — the
+// scale at which ScoreAllParallel's per-context allocations (subgraph maps,
+// rank vectors) used to dominate; the pooled citegraph arenas are measured
+// here for BENCH_PR3.json.
+func bigFix(b *testing.B) (*corpus.Corpus, *contextset.ContextSet) {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 11, NumTerms: 2200, MaxDepth: 8, SecondParentProb: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(1600))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	cs := contextset.BuildTextBased(a, o, contextset.DefaultConfig())
+	if n := len(cs.Contexts()); n < 1000 {
+		b.Fatalf("fixture too small: %d contexts, want >= 1000", n)
+	}
+	return c, cs
+}
+
+func BenchmarkScoreAllParallel1kContexts(b *testing.B) {
+	c, cs := bigFix(b)
+	s := NewCitationScorer(c, citegraph.PageRankOpts{})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ScoreAllParallel(s, cs, 0, 0)
+	}
+}
+
+// BenchmarkPrestigeLookup pits the nested-map score lookup against the
+// frozen CSR matrix's run-resolve + binary-search lookup, in the access
+// pattern of the query merge: one context resolved per row, many papers
+// probed within it.
+func BenchmarkPrestigeLookup(b *testing.B) {
+	f := benchFix(b)
+	scores := ScoreAll(NewTextScorer(f.a, DefaultTextWeights()), f.text, 0)
+	m := scores.Freeze()
+	ctxs := scores.Contexts()
+	papers := make([]corpusPaperID, f.c.Len())
+	for i := range papers {
+		papers[i] = corpusPaperID(i)
+	}
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			ctx := ctxs[i%len(ctxs)]
+			for _, p := range papers {
+				sink += scores.Get(ctx, p)
+			}
+		}
+		_ = sink
+	})
+	b.Run("matrix", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			run := m.Run(ctxs[i%len(ctxs)])
+			for _, p := range papers {
+				sink += run.Get(p)
+			}
+		}
+		_ = sink
+	})
+}

@@ -1,6 +1,8 @@
 package prestige
 
 import (
+	"sync"
+
 	"ctxsearch/internal/citegraph"
 	"ctxsearch/internal/contextset"
 	"ctxsearch/internal/corpus"
@@ -15,12 +17,27 @@ type CitationScorer struct {
 	graph *citegraph.Graph
 	opts  citegraph.PageRankOpts
 
+	// scratch pools citegraph arenas so the subgraph + PageRank pipeline
+	// reuses its position table, adjacency and rank buffers across the
+	// thousands of contexts scored. ScoreAllParallel workers each hold one
+	// arena for the duration of a context; results are unaffected (the
+	// scratch pipeline is bit-identical to the allocating one).
+	scratch sync.Pool
+
 	// CrossContextWeight enables the §7 future-work extension: instead of
 	// omitting citations whose other endpoint lies outside the context,
 	// they contribute with a weight — higher when the endpoint's context is
 	// hierarchically related to this one. Zero (the default) reproduces the
 	// paper's main method.
 	CrossContextWeight CrossContextWeights
+}
+
+// getScratch hands out a pooled arena (usable even on a zero-value scorer).
+func (s *CitationScorer) getScratch() *citegraph.Scratch {
+	if sc, ok := s.scratch.Get().(*citegraph.Scratch); ok {
+		return sc
+	}
+	return citegraph.NewScratch()
 }
 
 // CrossContextWeights configures the §7 extension. All weights in [0,1].
@@ -55,12 +72,16 @@ func (s *CitationScorer) ScoreContext(cs *contextset.ContextSet, ctx ontology.Te
 	if len(papers) == 0 {
 		return map[corpus.PaperID]float64{}
 	}
-	nodes := make([]int, len(papers))
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+	nodes := sc.Ints(len(papers))
 	for i, p := range papers {
 		nodes[i] = int(p)
 	}
-	sub, mapping := s.graph.Subgraph(nodes)
-	pr := citegraph.PageRank(sub, s.opts)
+	sub, mapping := s.graph.SubgraphInto(nodes, sc)
+	pr := citegraph.PageRankScratch(sub, s.opts, sc)
+	// mapping and pr alias the arena; copying into the result map releases
+	// them for the worker's next context.
 	out := make(map[corpus.PaperID]float64, len(mapping))
 	for i, orig := range mapping {
 		out[corpus.PaperID(orig)] = pr[i]
@@ -87,9 +108,12 @@ func (s *CitationScorer) addCrossContextBonus(cs *contextset.ContextSet, ctx ont
 		avg /= float64(len(scores))
 	}
 	onto := cs.Ontology()
+	// One neighbor buffer for the whole call, truncated per paper — the
+	// in+out concatenation is only read within the iteration.
+	neighbors := make([]int32, 0, 64)
 	for p := range scores {
 		var bonus float64
-		neighbors := make([]int32, 0, 8)
+		neighbors = neighbors[:0]
 		neighbors = append(neighbors, s.graph.In(int(p))...)
 		neighbors = append(neighbors, s.graph.Out(int(p))...)
 		for _, q := range neighbors {
@@ -126,11 +150,13 @@ func (s *CitationScorer) addCrossContextBonus(cs *contextset.ContextSet, ctx ont
 // graph — the diagnostic the paper uses to explain citation-score weakness.
 func (s *CitationScorer) ContextSparseness(cs *contextset.ContextSet, ctx ontology.TermID) float64 {
 	papers := cs.Papers(ctx)
-	nodes := make([]int, len(papers))
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+	nodes := sc.Ints(len(papers))
 	for i, p := range papers {
 		nodes[i] = int(p)
 	}
-	sub, _ := s.graph.Subgraph(nodes)
+	sub, _ := s.graph.SubgraphInto(nodes, sc)
 	return sub.Sparseness()
 }
 
@@ -144,11 +170,13 @@ func (s *CitationScorer) IsolationFraction(cs *contextset.ContextSet, ctx ontolo
 	if len(papers) == 0 {
 		return 1
 	}
-	nodes := make([]int, len(papers))
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+	nodes := sc.Ints(len(papers))
 	for i, p := range papers {
 		nodes[i] = int(p)
 	}
-	sub, _ := s.graph.Subgraph(nodes)
+	sub, _ := s.graph.SubgraphInto(nodes, sc)
 	isolated := 0
 	for i := 0; i < sub.Len(); i++ {
 		if len(sub.Out(i)) == 0 && len(sub.In(i)) == 0 {

@@ -1,0 +1,208 @@
+package prestige
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// Matrix is the frozen, query-time form of Scores: a CSR (compressed sparse
+// row) score matrix with one row per scored context. Contexts are interned
+// into ordinals (sorted by term ID), each row is a packed run of
+// paper-ID-sorted (doc, score) columns, and a per-context offset array
+// delimits the runs — mirroring the index's postings layout. The query
+// merge reads one run per selected context and resolves each hit by binary
+// search over the run's int32 doc IDs, instead of chaining a string-keyed
+// and an int-keyed map lookup per (context, hit) pair.
+//
+// A Matrix is immutable and safe for concurrent readers. Construct with
+// Scores.Freeze; the map form remains the construction-time builder and the
+// Scorer.ScoreContext boundary.
+type Matrix struct {
+	ctxs    []ontology.TermID
+	ord     map[ontology.TermID]int32
+	offsets []int32 // len(ctxs)+1; run i is [offsets[i], offsets[i+1])
+	docs    []int32
+	vals    []float64
+}
+
+// Freeze flattens the map form into its CSR matrix. The layout is fully
+// deterministic: contexts in ascending term-ID order, each run in ascending
+// paper-ID order, scores byte-identical to the map's values.
+func (s Scores) Freeze() *Matrix {
+	ctxs := s.Contexts()
+	m := &Matrix{
+		ctxs:    ctxs,
+		ord:     make(map[ontology.TermID]int32, len(ctxs)),
+		offsets: make([]int32, len(ctxs)+1),
+	}
+	nnz := 0
+	for _, ctx := range ctxs {
+		nnz += len(s[ctx])
+	}
+	m.docs = make([]int32, 0, nnz)
+	m.vals = make([]float64, 0, nnz)
+	var row []int32
+	for i, ctx := range ctxs {
+		m.ord[ctx] = int32(i)
+		src := s[ctx]
+		row = row[:0]
+		for id := range src {
+			row = append(row, int32(id))
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for _, id := range row {
+			m.docs = append(m.docs, id)
+			m.vals = append(m.vals, src[corpus.PaperID(id)])
+		}
+		m.offsets[i+1] = int32(len(m.docs))
+	}
+	return m
+}
+
+// NumContexts returns the number of scored contexts (rows).
+func (m *Matrix) NumContexts() int { return len(m.ctxs) }
+
+// NNZ returns the number of stored (context, paper) scores.
+func (m *Matrix) NNZ() int { return len(m.docs) }
+
+// Contexts returns the scored contexts sorted by term ID (a copy).
+func (m *Matrix) Contexts() []ontology.TermID {
+	return append([]ontology.TermID(nil), m.ctxs...)
+}
+
+// Ordinal returns the row index of a context, or false when unscored.
+func (m *Matrix) Ordinal(ctx ontology.TermID) (int, bool) {
+	i, ok := m.ord[ctx]
+	return int(i), ok
+}
+
+// Run is one context's packed score row: Docs ascending, Vals parallel.
+// The slices alias the matrix — read-only.
+type Run struct {
+	Docs []int32
+	Vals []float64
+}
+
+// Get returns the score of a paper in the run (0 when absent) by binary
+// search over the sorted doc IDs.
+func (r Run) Get(p corpus.PaperID) float64 {
+	d := int32(p)
+	lo, hi := 0, len(r.Docs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.Docs[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.Docs) && r.Docs[lo] == d {
+		return r.Vals[lo]
+	}
+	return 0
+}
+
+// Run returns a context's score row (an empty run when unscored).
+func (m *Matrix) Run(ctx ontology.TermID) Run {
+	i, ok := m.ord[ctx]
+	if !ok {
+		return Run{}
+	}
+	return m.RunAt(int(i))
+}
+
+// RunAt returns the score row of the i-th context (Ordinal order).
+func (m *Matrix) RunAt(i int) Run {
+	lo, hi := m.offsets[i], m.offsets[i+1]
+	return Run{Docs: m.docs[lo:hi], Vals: m.vals[lo:hi]}
+}
+
+// Get returns the score of a paper in a context (0 when absent), matching
+// Scores.Get on the frozen input exactly.
+func (m *Matrix) Get(ctx ontology.TermID, p corpus.PaperID) float64 {
+	return m.Run(ctx).Get(p)
+}
+
+// Thaw reconstructs the map form (for code paths that still build on it,
+// e.g. the naive reference search). Freeze(Thaw(m)) is the identity.
+func (m *Matrix) Thaw() Scores {
+	out := make(Scores, len(m.ctxs))
+	for i, ctx := range m.ctxs {
+		r := m.RunAt(i)
+		row := make(map[corpus.PaperID]float64, len(r.Docs))
+		for j, d := range r.Docs {
+			row[corpus.PaperID(d)] = r.Vals[j]
+		}
+		out[ctx] = row
+	}
+	return out
+}
+
+// matrixWire is the gob shape of a Matrix: the four flat arrays, with each
+// run's doc IDs delta-encoded (first absolute, then gaps). Runs are sorted
+// ascending, so the gaps are small non-negative varints — this is where the
+// v2 state file beats the nested map form on size, whose keys repeat full
+// paper IDs. The ordinal interning table is rebuilt on decode.
+type matrixWire struct {
+	Ctxs    []ontology.TermID
+	Offsets []int32
+	Docs    []int32 // per-run delta-encoded
+	Vals    []float64
+}
+
+// GobEncode implements gob.GobEncoder with the flat CSR arrays — smaller
+// and far faster to decode than the nested map form.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	docs := make([]int32, len(m.docs))
+	for i := 0; i < len(m.ctxs); i++ {
+		lo, hi := m.offsets[i], m.offsets[i+1]
+		prev := int32(0)
+		for k := lo; k < hi; k++ {
+			docs[k] = m.docs[k] - prev
+			prev = m.docs[k]
+		}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(matrixWire{
+		Ctxs: m.ctxs, Offsets: m.offsets, Docs: docs, Vals: m.vals,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(data []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if len(w.Offsets) == 0 {
+		w.Offsets = []int32{0} // gob drops empty slices; an empty matrix is valid
+	}
+	if len(w.Offsets) != len(w.Ctxs)+1 || len(w.Docs) != len(w.Vals) {
+		return fmt.Errorf("prestige: corrupt matrix: %d contexts, %d offsets, %d docs, %d vals",
+			len(w.Ctxs), len(w.Offsets), len(w.Docs), len(w.Vals))
+	}
+	if n := len(w.Offsets); n > 0 && int(w.Offsets[n-1]) != len(w.Docs) {
+		return fmt.Errorf("prestige: corrupt matrix: final offset %d != %d docs", w.Offsets[n-1], len(w.Docs))
+	}
+	// Undo the per-run delta encoding in place.
+	for i := 0; i < len(w.Ctxs); i++ {
+		lo, hi := w.Offsets[i], w.Offsets[i+1]
+		prev := int32(0)
+		for k := lo; k < hi; k++ {
+			prev += w.Docs[k]
+			w.Docs[k] = prev
+		}
+	}
+	m.ctxs, m.offsets, m.docs, m.vals = w.Ctxs, w.Offsets, w.Docs, w.Vals
+	m.ord = make(map[ontology.TermID]int32, len(w.Ctxs))
+	for i, ctx := range w.Ctxs {
+		m.ord[ctx] = int32(i)
+	}
+	return nil
+}

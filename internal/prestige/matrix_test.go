@@ -1,0 +1,145 @@
+package prestige
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// TestFreezeMatchesMapAllScorers is the central matrix-equality guarantee:
+// for every score function and every scored context, the frozen CSR matrix
+// returns exactly (==, not approximately) the score the map form holds, and
+// 0 for absent papers and unscored contexts — so swapping the hot path from
+// map lookups to matrix runs cannot change a single ranked result.
+func TestFreezeMatchesMapAllScorers(t *testing.T) {
+	f := buildFixture(t)
+	scorers := []Scorer{
+		NewCitationScorer(f.c, citegraphOpts()),
+		NewTextScorer(f.a, DefaultTextWeights()),
+		NewPatternScorer(f.ix, f.onto, patternDefaultCfg(), patternDefaultMatch()),
+	}
+	for _, sc := range scorers {
+		scores := ScoreAll(sc, f.pat, 0)
+		m := scores.Freeze()
+		if m.NumContexts() != len(scores) {
+			t.Fatalf("%s: %d contexts frozen, map has %d", sc.Name(), m.NumContexts(), len(scores))
+		}
+		nnz := 0
+		for ctx, row := range scores {
+			run := m.Run(ctx)
+			if len(run.Docs) != len(row) {
+				t.Fatalf("%s: context %s run has %d docs, map has %d", sc.Name(), ctx, len(run.Docs), len(row))
+			}
+			nnz += len(row)
+			for p, want := range row {
+				if got := m.Get(ctx, p); got != want {
+					t.Fatalf("%s: %s/%d: matrix %v != map %v", sc.Name(), ctx, p, got, want)
+				}
+			}
+			// Papers of the context absent from the map must read as 0 from
+			// both forms.
+			for _, p := range f.pat.Papers(ctx) {
+				if _, ok := row[p]; !ok {
+					if got := run.Get(p); got != 0 {
+						t.Fatalf("%s: %s/%d: absent paper scored %v", sc.Name(), ctx, p, got)
+					}
+				}
+			}
+		}
+		if m.NNZ() != nnz {
+			t.Fatalf("%s: NNZ %d != %d map entries", sc.Name(), m.NNZ(), nnz)
+		}
+		if got := m.Get(ontology.TermID("GO:nosuch"), 0); got != 0 {
+			t.Fatalf("%s: unscored context returned %v", sc.Name(), got)
+		}
+	}
+}
+
+func TestFreezeThawRoundTrip(t *testing.T) {
+	f := buildFixture(t)
+	scores := ScoreAll(NewTextScorer(f.a, DefaultTextWeights()), f.text, 0)
+	if got := scores.Freeze().Thaw(); !reflect.DeepEqual(scores, got) {
+		t.Fatal("Thaw(Freeze(scores)) differs from scores")
+	}
+}
+
+func TestMatrixContextsSortedAndOrdinals(t *testing.T) {
+	f := buildFixture(t)
+	scores := ScoreAll(NewTextScorer(f.a, DefaultTextWeights()), f.text, 0)
+	m := scores.Freeze()
+	ctxs := m.Contexts()
+	for i, ctx := range ctxs {
+		if i > 0 && ctxs[i-1] >= ctx {
+			t.Fatalf("contexts not strictly ascending at %d: %s >= %s", i, ctxs[i-1], ctx)
+		}
+		ord, ok := m.Ordinal(ctx)
+		if !ok || ord != i {
+			t.Fatalf("ordinal of %s = %d,%v, want %d", ctx, ord, ok, i)
+		}
+		run := m.RunAt(i)
+		for j := 1; j < len(run.Docs); j++ {
+			if run.Docs[j-1] >= run.Docs[j] {
+				t.Fatalf("%s: run docs not strictly ascending at %d", ctx, j)
+			}
+		}
+	}
+	if _, ok := m.Ordinal("GO:nosuch"); ok {
+		t.Fatal("unscored context has an ordinal")
+	}
+}
+
+func TestMatrixGobRoundTrip(t *testing.T) {
+	f := buildFixture(t)
+	for name, scores := range map[string]Scores{
+		"text":  ScoreAll(NewTextScorer(f.a, DefaultTextWeights()), f.text, 0),
+		"empty": {},
+		"tiny":  {"GO:t": {corpus.PaperID(3): 0.5, corpus.PaperID(9): 1}},
+	} {
+		m := scores.Freeze()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		var got Matrix
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&got); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(scores, got.Thaw()) {
+			t.Fatalf("%s: matrix differs after gob round trip", name)
+		}
+	}
+}
+
+func TestMatrixGobRejectsCorrupt(t *testing.T) {
+	var m Matrix
+	if err := m.GobDecode([]byte("garbage")); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}
+
+// TestScoreAllParallelArenaStress runs several full parallel scoring passes
+// concurrently over one scorer, so its pooled citegraph arenas are handed
+// between many workers at once — the race detector's target (make race
+// includes this package) — while every pass must still equal the serial
+// result exactly.
+func TestScoreAllParallelArenaStress(t *testing.T) {
+	f := buildFixture(t)
+	sc := NewCitationScorer(f.c, citegraphOpts())
+	want := ScoreAll(sc, f.pat, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := ScoreAllParallel(sc, f.pat, 0, 8); !reflect.DeepEqual(want, got) {
+				t.Error("concurrent ScoreAllParallel diverged from serial")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package search
 import (
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/index"
+	"ctxsearch/internal/prestige"
 )
 
 // This file retains the straightforward per-context formulation of
@@ -13,12 +14,24 @@ import (
 // returns exactly the same results — and the honest baseline for the
 // query-path benchmarks. It is not wired into any production caller.
 
+// refScores returns the map-form scores the reference implementation reads:
+// the map the engine was built from, or (for engines built from a frozen
+// matrix) a thawed copy — so naive-vs-optimized comparisons are always a
+// genuine map-vs-matrix comparison.
+func (e *Engine) refScores() prestige.Scores {
+	if e.scores != nil {
+		return e.scores
+	}
+	return e.matrix.Thaw()
+}
+
 // searchNaive is the reference implementation of Search.
 func (e *Engine) searchNaive(query string, opts Options) []Result {
 	ctxs := e.SelectContexts(query, opts)
 	if len(ctxs) == 0 {
 		return nil
 	}
+	scores := e.refScores()
 	qv := e.ix.Analyzer().QueryVector(query)
 	best := make(map[corpus.PaperID]Result)
 	for _, cscore := range ctxs {
@@ -26,7 +39,7 @@ func (e *Engine) searchNaive(query string, opts Options) []Result {
 		within := e.cs.PaperSet(ctx)
 		hits := e.ix.SearchVector(qv, index.Options{Within: within})
 		for _, h := range hits {
-			p := e.scores.Get(ctx, h.Doc)
+			p := scores.Get(ctx, h.Doc)
 			if e.weights.ContextWeighted {
 				p *= cscore.Score
 			}
@@ -57,6 +70,7 @@ func (e *Engine) searchBooleanNaive(query string, opts Options) ([]Result, error
 	if len(ctxs) == 0 {
 		return nil, nil
 	}
+	scores := e.refScores()
 	best := make(map[corpus.PaperID]Result)
 	for _, cscore := range ctxs {
 		ctx := cscore.Context
@@ -66,7 +80,7 @@ func (e *Engine) searchBooleanNaive(query string, opts Options) ([]Result, error
 			return nil, err
 		}
 		for _, h := range hits {
-			p := e.scores.Get(ctx, h.Doc)
+			p := scores.Get(ctx, h.Doc)
 			if e.weights.ContextWeighted {
 				p *= cscore.Score
 			}

@@ -18,8 +18,10 @@
 package search
 
 import (
+	"cmp"
 	"context"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -99,8 +101,16 @@ type Result struct {
 // Engine is the context-based search engine. Construct with NewEngine after
 // prestige scores have been computed for the context set.
 type Engine struct {
-	ix      *index.Index
-	cs      *contextset.ContextSet
+	ix *index.Index
+	cs *contextset.ContextSet
+	// matrix is the frozen CSR prestige matrix the hot path reads: one
+	// packed run per context, resolved once per merge row, each hit looked
+	// up by binary search over int32 doc IDs instead of two chained map
+	// lookups.
+	matrix *prestige.Matrix
+	// scores is the map form the engine was built from, retained only for
+	// the naive reference implementation (nil when built via
+	// NewEngineFrozen; production paths never read it).
 	scores  prestige.Scores
 	weights Weights
 	// termTokens caches tokenized term names for context selection.
@@ -113,22 +123,46 @@ type Engine struct {
 	// distinctTokens caches |distinct name tokens| per context — the
 	// Jaccard denominator piece that used to be recomputed per query.
 	distinctTokens map[ontology.TermID]int
+	// mergePool recycles mergeHits' scratch buffers (the partial-score slab
+	// and the dense doc→hit table) across queries.
+	mergePool sync.Pool
+}
+
+// mergeScratch is the reusable per-merge arena: one flat slab backing all
+// per-context partial rows, and a dense doc→(hit index+1) table through
+// which each context's CSR run is scattered — O(1) per run entry instead of
+// one binary search per (context, hit) pair. The table is sparsely reset
+// (only the hit docs are zeroed) when the merge returns it to the pool.
+type mergeScratch struct {
+	rows  []float64
+	hitOf []int32
 }
 
 // NewEngine assembles an engine from an index, a context paper set and the
-// prestige scores computed over it.
+// prestige scores computed over it. The map form is frozen into the CSR
+// matrix the query path reads; the map itself is kept only as the naive
+// reference's score source.
 func NewEngine(ix *index.Index, cs *contextset.ContextSet, scores prestige.Scores, w Weights) *Engine {
+	e := NewEngineFrozen(ix, cs, scores.Freeze(), w)
+	e.scores = scores
+	return e
+}
+
+// NewEngineFrozen assembles an engine directly from a frozen prestige
+// matrix — the cold-start path when the matrix was loaded from a v2 state
+// file, skipping the freeze entirely.
+func NewEngineFrozen(ix *index.Index, cs *contextset.ContextSet, matrix *prestige.Matrix, w Weights) *Engine {
 	e := &Engine{
 		ix:             ix,
 		cs:             cs,
-		scores:         scores,
+		matrix:         matrix,
 		weights:        w,
 		termTokens:     make(map[ontology.TermID][]string),
 		tokenCtxs:      make(map[string][]ontology.TermID),
 		distinctTokens: make(map[ontology.TermID]int),
 	}
 	tok := ix.Analyzer().Tokenizer()
-	for ctx := range scores {
+	for _, ctx := range matrix.Contexts() {
 		if t := cs.Ontology().Term(ctx); t != nil {
 			words := tok.Terms(t.Name)
 			e.termTokens[ctx] = words
@@ -368,9 +402,41 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 	if len(hits) == 0 {
 		return nil, ctx.Err()
 	}
+	ms, _ := e.mergePool.Get().(*mergeScratch)
+	if ms == nil {
+		ms = &mergeScratch{}
+	}
+	maxDoc := 0
+	for _, h := range hits {
+		if int(h.Doc) > maxDoc {
+			maxDoc = int(h.Doc)
+		}
+	}
+	if len(ms.hitOf) <= maxDoc {
+		ms.hitOf = make([]int32, maxDoc+1)
+	}
+	for j, h := range hits {
+		ms.hitOf[h.Doc] = int32(j + 1)
+	}
+	need := len(ctxs) * len(hits)
+	if cap(ms.rows) < need {
+		ms.rows = make([]float64, need)
+	}
+	rows := ms.rows[:need]
+	defer func() {
+		// Sparse reset: only the table entries this merge touched.
+		for _, h := range hits {
+			ms.hitOf[h.Doc] = 0
+		}
+		e.mergePool.Put(ms)
+	}()
 	// partial[i][j] is the effective prestige of hits[j] in ctxs[i], -1
-	// when the paper is outside the context. Workers write disjoint rows.
+	// when the paper is outside the context. Workers write disjoint rows
+	// (slices of the shared slab).
 	partial := make([][]float64, len(ctxs))
+	for i := range partial {
+		partial[i] = rows[i*len(hits) : (i+1)*len(hits)]
+	}
 	member := make([]bitset.Set, len(ctxs))
 	for i, c := range ctxs {
 		member[i] = e.cs.PaperBitset(c.Context)
@@ -379,20 +445,43 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 		if h := scoreRowHook; h != nil {
 			h()
 		}
-		row := make([]float64, len(hits))
+		row := partial[i]
 		c := ctxs[i]
-		for j, h := range hits {
-			if !member[i].Contains(int(h.Doc)) {
-				row[j] = -1
-				continue
-			}
-			p := e.scores.Get(c.Context, h.Doc)
-			if e.weights.ContextWeighted {
-				p *= c.Score
-			}
-			row[j] = p
+		mb := member[i]
+		run := e.matrix.Run(c.Context)
+		w := 1.0
+		if e.weights.ContextWeighted {
+			w = c.Score
 		}
-		partial[i] = row
+		for j, h := range hits {
+			if mb.Contains(int(h.Doc)) {
+				row[j] = 0
+			} else {
+				row[j] = -1
+			}
+		}
+		if len(run.Docs) <= len(hits)*8 {
+			// Scatter the context's CSR run through the dense doc→hit table:
+			// O(|run|) with O(1) array reads. Docs are sorted, so the scan
+			// stops at the last hit doc.
+			hitOf := ms.hitOf
+			for k, d := range run.Docs {
+				if int(d) > maxDoc {
+					break
+				}
+				if j := hitOf[d]; j > 0 && row[j-1] >= 0 {
+					row[j-1] = run.Vals[k] * w
+				}
+			}
+		} else {
+			// Run much longer than the hit list: per-hit binary search over
+			// the run's packed doc IDs wins.
+			for j, h := range hits {
+				if row[j] >= 0 {
+					row[j] = run.Get(h.Doc) * w
+				}
+			}
+		}
 	}
 	// Fan per-context scoring over a worker pool (mirrors
 	// prestige.ScoreAllParallel); a single context or tiny hit list is not
@@ -482,13 +571,19 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 }
 
 // sortResults orders results by descending relevancy, ties by ascending
-// document ID.
+// document ID. The comparator is a total order (documents are unique within
+// a result list), so the unstable sort still yields a deterministic,
+// naive-identical ordering; slices.SortFunc avoids sort.Slice's
+// reflection-based swapper on the query hot path.
 func sortResults(out []Result) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Relevancy != out[j].Relevancy {
-			return out[i].Relevancy > out[j].Relevancy
+	slices.SortFunc(out, func(a, b Result) int {
+		if a.Relevancy != b.Relevancy {
+			if a.Relevancy > b.Relevancy {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Doc < out[j].Doc
+		return cmp.Compare(a.Doc, b.Doc)
 	})
 }
 

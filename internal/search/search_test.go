@@ -21,7 +21,7 @@ type fixture struct {
 
 var cached *fixture
 
-func buildFixture(t *testing.T) *fixture {
+func buildFixture(t testing.TB) *fixture {
 	t.Helper()
 	if cached != nil {
 		return cached

@@ -83,11 +83,12 @@ func (c Config) maxInflight() int {
 }
 
 // backend bundles the query-serving state; it is swapped in atomically once
-// the engine is built, flipping /readyz to 200.
+// the engine is built, flipping /readyz to 200. Prestige is held in its
+// frozen CSR matrix form — the same structure the engine's hot path reads.
 type backend struct {
 	sys    *ctxsearch.System
 	cs     *ctxsearch.ContextSet
-	scores ctxsearch.Scores
+	matrix *ctxsearch.Matrix
 	engine *ctxsearch.Engine
 }
 
@@ -161,13 +162,21 @@ func NewPending(cfg Config) *Server {
 }
 
 // SetReady installs the engine state, flipping /readyz (and the API) live.
-// Safe to call concurrently with serving.
+// Safe to call concurrently with serving. The map-form scores are frozen
+// once into the CSR matrix both the engine and the /papers endpoint read.
 func (s *Server) SetReady(sys *ctxsearch.System, cs *ctxsearch.ContextSet, scores ctxsearch.Scores) {
+	s.SetReadyFrozen(sys, cs, scores.Freeze())
+}
+
+// SetReadyFrozen is SetReady for a pre-frozen prestige matrix — the
+// cold-start path when the matrix was loaded from a v2 state file, so boot
+// never materialises the nested map form at all.
+func (s *Server) SetReadyFrozen(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix) {
 	s.backend.Store(&backend{
 		sys:    sys,
 		cs:     cs,
-		scores: scores,
-		engine: sys.Engine(cs, scores),
+		matrix: m,
+		engine: sys.EngineFrozen(cs, m),
 	})
 }
 
@@ -417,7 +426,7 @@ func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
 		resp.Contexts = append(resp.Contexts, PaperContext{
 			Term:     string(ctx),
 			Name:     b.sys.Ontology.Term(ctx).Name,
-			Prestige: b.scores.Get(ctx, p.ID),
+			Prestige: b.matrix.Get(ctx, p.ID),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -441,7 +450,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Papers:         b.sys.Corpus.Len(),
 		OntologyTerms:  b.sys.Ontology.Len(),
 		Contexts:       len(b.cs.Contexts()),
-		ScoredContexts: len(b.scores),
+		ScoredContexts: b.matrix.NumContexts(),
 		ContextSetKind: b.cs.Kind().String(),
 	})
 }

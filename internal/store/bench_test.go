@@ -1,0 +1,81 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"ctxsearch/internal/citegraph"
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+// benchState builds a state an order larger than the unit-test fixture so
+// the decode cost is dominated by the score payload, the part the v2 format
+// changes. BENCH_PR3.json records the v1-vs-v2 Load numbers.
+func benchState(b *testing.B) (*ontology.Ontology, *State) {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 9, NumTerms: 200, MaxDepth: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(800))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	cs := contextset.BuildTextBased(a, o, contextset.DefaultConfig())
+	scores := map[string]prestige.Scores{
+		"text":     prestige.ScoreAll(prestige.NewTextScorer(a, prestige.DefaultTextWeights()), cs, 0),
+		"citation": prestige.ScoreAll(prestige.NewCitationScorer(c, citegraph.PageRankOpts{}), cs, 0),
+	}
+	return o, &State{ContextSet: cs, Scores: scores}
+}
+
+func BenchmarkLoad(b *testing.B) {
+	o, st := benchState(b)
+	var v1, v2 bytes.Buffer
+	if err := saveV1(&v1, st); err != nil {
+		b.Fatal(err)
+	}
+	if err := Save(&v2, st); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1-maps", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(v1.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(bytes.NewReader(v1.Bytes()), o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-matrix", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(v2.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := Load(bytes.NewReader(v2.Bytes()), o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSave(b *testing.B) {
+	_, st := benchState(b)
+	// Pre-freeze so the benchmark measures encoding, not Freeze.
+	st.Matrices = make(map[string]*prestige.Matrix, len(st.Scores))
+	for name, s := range st.Scores {
+		st.Matrices[name] = s.Freeze()
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Save(&buf, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,16 +19,39 @@ import (
 	"ctxsearch/internal/prestige"
 )
 
-// version guards the on-disk format.
-const version = 1
+// version is the current on-disk format. v1 persisted prestige scores as
+// nested maps (term → paper → score); v2 persists the frozen CSR matrices
+// (flat arrays — smaller on disk and far cheaper to decode). Save always
+// writes v2; Load accepts both, freezing v1 maps on the way in.
+const (
+	version   = 2
+	versionV1 = 1
+)
 
 // State bundles one context paper set with the prestige scores of any
 // number of score functions computed over it.
 type State struct {
 	ContextSet *contextset.ContextSet
-	// Scores maps score-function name ("text", "citation", "pattern", …)
-	// to its Scores.
+	// Matrices maps score-function name ("text", "citation", "pattern", …)
+	// to its frozen CSR score matrix — the form the state file persists and
+	// the cold-start path hands straight to search.NewEngineFrozen.
+	Matrices map[string]*prestige.Matrix
+	// Scores is the map (builder) form. Save freezes any entry without a
+	// matching matrix; Load leaves it nil for v2 files (populated only when
+	// loading a legacy v1 file, whose maps are also frozen into Matrices).
 	Scores map[string]prestige.Scores
+}
+
+// Matrix returns the frozen matrix of a score function, freezing the map
+// form on demand when only it is present.
+func (st *State) Matrix(name string) *prestige.Matrix {
+	if m := st.Matrices[name]; m != nil {
+		return m
+	}
+	if s, ok := st.Scores[name]; ok {
+		return s.Freeze()
+	}
+	return nil
 }
 
 type header struct {
@@ -36,21 +59,41 @@ type header struct {
 	Version int
 }
 
-type payload struct {
+// payloadV1 is the legacy v1 payload shape (nested score maps). Gob matches
+// struct fields by name, so this decodes streams written when the type was
+// simply named "payload".
+type payloadV1 struct {
 	Snapshot *contextset.Snapshot
 	Scores   map[string]prestige.Scores
 }
 
-// Save writes the state to w.
+// payloadV2 is the current payload: frozen CSR matrices only.
+type payloadV2 struct {
+	Snapshot *contextset.Snapshot
+	Matrices map[string]*prestige.Matrix
+}
+
+// Save writes the state to w in the current (v2) format. Score functions
+// present only in map form are frozen on the way out; the nested maps
+// themselves are never persisted.
 func Save(w io.Writer, st *State) error {
 	if st == nil || st.ContextSet == nil {
 		return fmt.Errorf("store: nil state or context set")
+	}
+	mats := make(map[string]*prestige.Matrix, len(st.Matrices)+len(st.Scores))
+	for name, m := range st.Matrices {
+		mats[name] = m
+	}
+	for name, s := range st.Scores {
+		if mats[name] == nil {
+			mats[name] = s.Freeze()
+		}
 	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(header{Magic: "ctxsearch-state", Version: version}); err != nil {
 		return fmt.Errorf("store: encoding header: %w", err)
 	}
-	if err := enc.Encode(payload{Snapshot: st.ContextSet.Snapshot(), Scores: st.Scores}); err != nil {
+	if err := enc.Encode(payloadV2{Snapshot: st.ContextSet.Snapshot(), Matrices: mats}); err != nil {
 		return fmt.Errorf("store: encoding payload: %w", err)
 	}
 	return nil
@@ -79,19 +122,41 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 	if h.Magic != "ctxsearch-state" {
 		return nil, fmt.Errorf("store: bad magic %q (want %q)", h.Magic, "ctxsearch-state")
 	}
-	if h.Version != version {
-		return nil, fmt.Errorf("store: unsupported version %d (want %d)", h.Version, version)
+	var snap *contextset.Snapshot
+	st := &State{}
+	switch h.Version {
+	case versionV1:
+		// Legacy nested-map payload: freeze each score map into its CSR
+		// matrix so callers get the query-ready form regardless of the file
+		// generation; the maps stay available in Scores.
+		var p payloadV1
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("store: decoding payload after header (magic %q, version %d): %s: %w",
+				h.Magic, h.Version, corruptionHint(err), err)
+		}
+		snap = p.Snapshot
+		st.Scores = p.Scores
+		st.Matrices = make(map[string]*prestige.Matrix, len(p.Scores))
+		for name, s := range p.Scores {
+			st.Matrices[name] = s.Freeze()
+		}
+	case version:
+		var p payloadV2
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("store: decoding payload after header (magic %q, version %d): %s: %w",
+				h.Magic, h.Version, corruptionHint(err), err)
+		}
+		snap = p.Snapshot
+		st.Matrices = p.Matrices
+	default:
+		return nil, fmt.Errorf("store: unsupported version %d (want ≤ %d)", h.Version, version)
 	}
-	var p payload
-	if err := dec.Decode(&p); err != nil {
-		return nil, fmt.Errorf("store: decoding payload after header (magic %q, version %d): %s: %w",
-			h.Magic, h.Version, corruptionHint(err), err)
-	}
-	cs, err := contextset.FromSnapshot(onto, p.Snapshot)
+	cs, err := contextset.FromSnapshot(onto, snap)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &State{ContextSet: cs, Scores: p.Scores}, nil
+	st.ContextSet = cs
+	return st, nil
 }
 
 // SaveFile writes the state to path crash-safely: the gob stream goes to a

@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"encoding/gob"
+	"io"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -69,10 +71,74 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("decay of %s differs", ctx)
 		}
 	}
-	// Scores preserved exactly.
-	if !reflect.DeepEqual(st.Scores, got.Scores) {
-		t.Fatal("scores differ after round trip")
+	// Scores preserved exactly: the v2 file carries the frozen matrices,
+	// and thawing them must reproduce the original maps bit for bit.
+	if got.Scores != nil {
+		t.Fatal("v2 load must not populate the map form")
 	}
+	if len(got.Matrices) != len(st.Scores) {
+		t.Fatalf("matrices lost: %d vs %d score functions", len(got.Matrices), len(st.Scores))
+	}
+	for name, want := range st.Scores {
+		m := got.Matrices[name]
+		if m == nil {
+			t.Fatalf("matrix %q missing", name)
+		}
+		if !reflect.DeepEqual(want, m.Thaw()) {
+			t.Fatalf("scores of %q differ after round trip", name)
+		}
+	}
+}
+
+// saveV1 writes the legacy v1 format (nested score maps) the way the
+// pre-matrix Save did — the backward-compat fixture generator.
+func saveV1(w io.Writer, st *State) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: "ctxsearch-state", Version: versionV1}); err != nil {
+		return err
+	}
+	return enc.Encode(payloadV1{Snapshot: st.ContextSet.Snapshot(), Scores: st.Scores})
+}
+
+func TestLoadV1BackwardCompat(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := saveV1(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, o)
+	if err != nil {
+		t.Fatalf("v1 file must still load: %v", err)
+	}
+	// v1 maps survive verbatim and are frozen into matrices on load.
+	if !reflect.DeepEqual(st.Scores, got.Scores) {
+		t.Fatal("v1 scores differ after load")
+	}
+	for name, want := range st.Scores {
+		m := got.Matrices[name]
+		if m == nil {
+			t.Fatalf("v1 load did not freeze %q", name)
+		}
+		if !reflect.DeepEqual(want, m.Thaw()) {
+			t.Fatalf("frozen %q differs from v1 map", name)
+		}
+	}
+}
+
+func TestV2SmallerThanV1(t *testing.T) {
+	_, st := fixture(t)
+	var v1, v2 bytes.Buffer
+	if err := saveV1(&v1, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&v2, st); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len() {
+		t.Fatalf("v2 state (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
+	}
+	t.Logf("state size: v1=%d bytes, v2=%d bytes (%.1f%% of v1)",
+		v1.Len(), v2.Len(), 100*float64(v2.Len())/float64(v1.Len()))
 }
 
 func TestSaveLoadFile(t *testing.T) {
@@ -85,8 +151,13 @@ func TestSaveLoadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Scores) != len(st.Scores) {
-		t.Fatal("scores lost")
+	if len(got.Matrices) != len(st.Scores) {
+		t.Fatal("matrices lost")
+	}
+	for name := range st.Scores {
+		if got.Matrix(name) == nil {
+			t.Fatalf("matrix %q lost", name)
+		}
 	}
 }
 
