@@ -2,13 +2,15 @@
 # keep green; it includes a -race pass over the parallelized query path
 # (internal/search fans per-context scoring over a worker pool and
 # internal/index pools accumulators across goroutines), over the serving
-# path (middleware stack, graceful shutdown, fault injection), and over the
+# path (middleware stack, graceful shutdown, fault injection), over the
 # arena-reusing offline scoring pipeline (internal/prestige workers hand
-# pooled citegraph scratch buffers between goroutines).
+# pooled citegraph scratch buffers between goroutines), and over the
+# sharded offline build (internal/corpus, internal/pattern,
+# internal/contextset fan per-shard construction across workers).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query bench-prestige serve-smoke
+.PHONY: verify build test vet race bench bench-query bench-prestige bench-build serve-smoke
 
 verify: vet build test race
 
@@ -22,7 +24,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./cmd/ctxsearch/...
+	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./internal/corpus/... ./internal/pattern/... ./internal/contextset/... ./internal/par/... ./internal/buildstats/... ./cmd/ctxsearch/...
 
 # Black-box smoke test of the serve command: boots the real binary, waits
 # for readiness, exercises the HTTP API with curl, and checks that SIGTERM
@@ -38,6 +40,15 @@ bench:
 bench-query:
 	$(GO) test -run xxx -bench 'BenchmarkSelectContexts|BenchmarkEngineSearch' -benchmem ./internal/search/
 	$(GO) test -run xxx -bench 'BenchmarkIndexSearchVector' -benchmem ./internal/index/
+
+# The offline-build benchmarks behind BENCH_PR4.json: sharded corpus
+# analysis, TF-IDF warming, inverted/positional index construction, and the
+# end-to-end system build at 1 vs 8 workers.
+bench-build:
+	$(GO) test -run xxx -bench 'BenchmarkAnalyzerBuild|BenchmarkAnalyzerWarm' -benchmem ./internal/corpus/
+	$(GO) test -run xxx -bench 'BenchmarkIndexBuildWorkers' -benchmem ./internal/index/
+	$(GO) test -run xxx -bench 'BenchmarkPosIndexBuildWorkers' -benchmem ./internal/pattern/
+	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchmem .
 
 # The prestige-pipeline benchmarks behind BENCH_PR3.json: the CSR-matrix
 # query merge, map-vs-matrix lookups, the arena-reusing subgraph+PageRank

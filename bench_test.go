@@ -48,6 +48,32 @@ func BenchmarkSetup(b *testing.B) {
 	}
 }
 
+// benchSystemBuild measures the end-to-end offline build (analysis, TF-IDF
+// warm, inverted index, positional index) at a fixed worker count; the
+// synthetic ontology/corpus generation is excluded by reusing them across
+// iterations.
+func benchSystemBuild(b *testing.B, workers int) {
+	cfg := ctxsearch.DefaultConfig()
+	cfg.OntologyTerms = 80
+	cfg.Papers = 400
+	cfg.BuildWorkers = workers
+	seed, err := ctxsearch.NewSyntheticSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, c := seed.Ontology, seed.Corpus
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctxsearch.NewSystem(o, c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemBuildWorkers1(b *testing.B) { benchSystemBuild(b, 1) }
+func BenchmarkSystemBuildWorkers8(b *testing.B) { benchSystemBuild(b, 8) }
+
 // BenchmarkFig51 regenerates Figure 5.1 (precision, text vs citation on the
 // text-based context paper set).
 func BenchmarkFig51(b *testing.B) {

@@ -1,0 +1,76 @@
+package ctxsearch
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParallelBuildPipelineGolden is the end-to-end golden test for the
+// sharded offline build: the full pipeline — analysis, indexes, both context
+// sets and all three prestige score functions — must produce identical
+// results at BuildWorkers 1 and N.
+func TestParallelBuildPipelineGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline comparison is slow")
+	}
+	build := func(workers int) (*System, *ContextSet, *ContextSet) {
+		cfg := smallConfig()
+		cfg.BuildWorkers = workers
+		sys, err := NewSyntheticSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, sys.BuildTextContextSet(), sys.BuildPatternContextSet()
+	}
+	seqSys, seqText, seqPat := build(1)
+	parSys, parText, parPat := build(4)
+
+	compareSets := func(name string, a, b *ContextSet) {
+		t.Helper()
+		if !reflect.DeepEqual(a.Contexts(), b.Contexts()) {
+			t.Fatalf("%s: context lists differ between worker counts", name)
+		}
+		for _, ctx := range a.Contexts() {
+			if !reflect.DeepEqual(a.Papers(ctx), b.Papers(ctx)) {
+				t.Fatalf("%s: papers of %s differ between worker counts", name, ctx)
+			}
+		}
+	}
+	compareSets("text set", seqText, parText)
+	compareSets("pattern set", seqPat, parPat)
+
+	for _, fn := range []struct {
+		name  string
+		score func(*System, *ContextSet) Scores
+	}{
+		{"text", (*System).ScoreText},
+		{"citation", (*System).ScoreCitation},
+		{"pattern", (*System).ScorePattern},
+	} {
+		seq := fn.score(seqSys, seqText)
+		par := fn.score(parSys, parText)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("%s scores differ between worker counts", fn.name)
+		}
+	}
+}
+
+// TestBuildStatsRecorded checks that NewSystem records the four build stages
+// and that later pipeline steps append to the same record.
+func TestBuildStatsRecorded(t *testing.T) {
+	sys := testSystem(t)
+	st := sys.BuildStats()
+	if st == nil {
+		t.Fatal("no build stats recorded")
+	}
+	sum := st.Summary()
+	for _, stage := range []string{"analyze", "tfidf-warm", "index", "posindex"} {
+		if !strings.Contains(sum, stage) {
+			t.Fatalf("summary missing stage %q:\n%s", stage, sum)
+		}
+	}
+	if st.Total() <= 0 {
+		t.Fatal("zero total build time")
+	}
+}

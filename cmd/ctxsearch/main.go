@@ -9,6 +9,8 @@
 // Commands:
 //
 //	generate           generate a synthetic corpus and save it (-corpus, -obo)
+//	build              build the context set + scores and save them (-state);
+//	                   with -v, print the offline-build timing summary
 //	search  <query>    run a context-based search
 //	contexts <query>   show which contexts a query selects
 //	inspect <paperID>  print one paper with its contexts and scores
@@ -32,6 +34,11 @@
 //	-score FN     prestige function: text | citation | pattern (default text)
 //	-limit N      max search results (default 15)
 //	-addr ADDR    listen address for serve (default :8080)
+//	-build-workers N  offline-build parallelism: analysis, index and
+//	                  position-index construction, context-set assembly
+//	                  (default 0 = GOMAXPROCS; output identical at any N)
+//	-v            verbose: print the build timing summary after the
+//	              offline build finishes
 //
 // Serving flags (see the README's "Serving" section):
 //
@@ -111,6 +118,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	limit := fs.Int("limit", 15, "max results")
 	boolean := fs.Bool("boolean", false, "treat the search query as a boolean expression (AND/OR/NOT, \"phrases\", field:term)")
 	statePath := fs.String("state", "", "context-set + scores gob file (load if present, else save)")
+	buildWorkers := fs.Int("build-workers", 0, "offline-build parallelism (0 = GOMAXPROCS; output identical at any setting)")
+	verbose := fs.Bool("v", false, "print the offline-build timing summary")
 	addr := fs.String("addr", ":8080", "listen address for serve")
 	queryTimeout := fs.Duration("query-timeout", server.DefaultQueryTimeout, "serve: per-request search deadline, expiry returns 503 (<=0 disables)")
 	maxInflight := fs.Int("max-inflight", server.DefaultMaxInflight, "serve: max concurrently served API requests, excess sheds with 429 (<=0 unlimited)")
@@ -131,6 +140,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Papers = *papers
 	cfg.OntologyTerms = *terms
+	cfg.BuildWorkers = *buildWorkers
 
 	if cmd == "serve" {
 		return serveCmd(ctx, out, serveOpts{
@@ -155,10 +165,27 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	a := &app{sys: sys, limit: *limit, boolean: *boolean}
+	if cmd == "build" {
+		if err := a.compute(*setKind, *scoreFn, *statePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "built %s context set (%d contexts) with %q scores (%d scored contexts)\n",
+			*setKind, len(a.cs.Contexts()), *scoreFn, a.matrix.NumContexts())
+		if *statePath != "" {
+			fmt.Fprintf(out, "state saved to %s\n", *statePath)
+		}
+		if *verbose {
+			fmt.Fprintln(out, sys.BuildStats().Summary())
+		}
+		return nil
+	}
 	if err := a.prepare(*setKind, *scoreFn, *statePath); err != nil {
 		return err
 	}
 	a.engine = sys.EngineFrozen(a.cs, a.matrix)
+	if *verbose {
+		fmt.Fprintln(out, sys.BuildStats().Summary())
+	}
 
 	switch cmd {
 	case "search":
@@ -232,6 +259,7 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 		}
 		srv.SetReadyFrozen(sys, a.cs, a.matrix)
 		fmt.Fprintln(out, "engine ready")
+		fmt.Fprintln(out, sys.BuildStats().Summary())
 		buildErr <- nil
 	}()
 	err := server.Run(ctx, o.addr, srv, server.RunConfig{
@@ -321,9 +349,13 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 func (a *app) prepare(setKind, scoreFn, statePath string) error {
 	if statePath != "" {
 		if _, err := os.Stat(statePath); err == nil {
-			st, err := store.LoadFile(statePath, a.sys.Ontology)
-			if err != nil {
-				return fmt.Errorf("loading %s: %w", statePath, err)
+			var st *store.State
+			var lerr error
+			a.sys.BuildStats().Time("state-load", 0, "", func() {
+				st, lerr = store.LoadFile(statePath, a.sys.Ontology)
+			})
+			if lerr != nil {
+				return fmt.Errorf("loading %s: %w", statePath, lerr)
 			}
 			m := st.Matrix(scoreFn)
 			if m == nil {
@@ -334,6 +366,13 @@ func (a *app) prepare(setKind, scoreFn, statePath string) error {
 			return nil
 		}
 	}
+	return a.compute(setKind, scoreFn, statePath)
+}
+
+// compute builds the context set and prestige matrix unconditionally (the
+// build command's path; prepare falls through to it when no saved state
+// exists), persisting to statePath when given.
+func (a *app) compute(setKind, scoreFn, statePath string) error {
 	switch setKind {
 	case "text":
 		a.cs = a.sys.BuildTextContextSet()
@@ -356,8 +395,12 @@ func (a *app) prepare(setKind, scoreFn, statePath string) error {
 	a.matrix = scores.Freeze()
 	if statePath != "" {
 		st := &store.State{ContextSet: a.cs, Matrices: map[string]*ctxsearch.Matrix{scoreFn: a.matrix}}
-		if err := store.SaveFile(statePath, st); err != nil {
-			return fmt.Errorf("saving %s: %w", statePath, err)
+		var serr error
+		a.sys.BuildStats().Time("state-save", 0, "", func() {
+			serr = store.SaveFile(statePath, st)
+		})
+		if serr != nil {
+			return fmt.Errorf("saving %s: %w", statePath, serr)
 		}
 	}
 	return nil

@@ -24,12 +24,15 @@ package ctxsearch
 
 import (
 	"fmt"
+	"sync"
 
+	"ctxsearch/internal/buildstats"
 	"ctxsearch/internal/citegraph"
 	"ctxsearch/internal/contextset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/par"
 	"ctxsearch/internal/pattern"
 	"ctxsearch/internal/prestige"
 	"ctxsearch/internal/search"
@@ -101,6 +104,12 @@ type Config struct {
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any setting;
 	// per-context scoring is deterministic and independent.
 	Workers int
+	// BuildWorkers bounds the parallelism of the offline build — corpus
+	// analysis, TF-IDF warming, inverted-index and positional-index
+	// construction (0 = GOMAXPROCS, 1 = serial). The built structures are
+	// bit-identical at any setting: papers are sharded into contiguous ID
+	// ranges and per-shard results merge deterministically.
+	BuildWorkers int
 }
 
 // DefaultConfig returns the experiments' configuration at a laptop-friendly
@@ -132,6 +141,10 @@ func (c *Config) minContextSize(corpusLen int) int {
 	return m
 }
 
+// BuildStats is the offline-build timing summary (re-exported from the
+// internal buildstats package). Retrieve a system's with System.BuildStats.
+type BuildStats = buildstats.Stats
+
 // System bundles the analysed corpus, the ontology and every index the
 // scorers need. Construct with NewSystem or NewSyntheticSystem.
 type System struct {
@@ -142,9 +155,22 @@ type System struct {
 	analyzer *corpus.Analyzer
 	index    *index.Index
 	posIndex *pattern.PosIndex
+	stats    *buildstats.Stats
+
+	// Scorers are cached: the citation and text scorers embed the corpus
+	// citation graph and co-author index, which are expensive to extract and
+	// immutable — callers (and the experiments harness) share one instance.
+	citationOnce sync.Once
+	citation     *prestige.CitationScorer
+	textOnce     sync.Once
+	text         *prestige.TextScorer
+	patternOnce  sync.Once
+	pattern      *prestige.PatternScorer
 }
 
-// NewSystem analyses a user-provided ontology and corpus.
+// NewSystem analyses a user-provided ontology and corpus, fanning the build
+// out to Config.BuildWorkers workers (0 = GOMAXPROCS). The built indexes
+// are bit-identical at every worker count; timing lands in BuildStats.
 func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
 	if o == nil || o.Len() == 0 {
 		return nil, fmt.Errorf("ctxsearch: ontology is empty")
@@ -152,15 +178,22 @@ func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
 	if c == nil || c.Len() == 0 {
 		return nil, fmt.Errorf("ctxsearch: corpus is empty")
 	}
-	a := corpus.NewAnalyzer(c)
-	return &System{
-		cfg:      cfg,
-		Ontology: o,
-		Corpus:   c,
-		analyzer: a,
-		index:    index.Build(a),
-		posIndex: pattern.NewPosIndex(a),
-	}, nil
+	workers := cfg.BuildWorkers
+	st := buildstats.New(par.Workers(c.Len(), workers))
+	s := &System{cfg: cfg, Ontology: o, Corpus: c, stats: st}
+	st.Time("analyze", c.Len(), "papers", func() {
+		s.analyzer = corpus.NewAnalyzerWorkers(c, workers)
+	})
+	st.Time("tfidf-warm", c.Len(), "papers", func() {
+		s.analyzer.Warm(workers)
+	})
+	st.Time("index", c.Len(), "papers", func() {
+		s.index = index.BuildWorkers(s.analyzer, workers)
+	})
+	st.Time("posindex", c.Len(), "papers", func() {
+		s.posIndex = pattern.NewPosIndexWorkers(s.analyzer, workers)
+	})
+	return s, nil
 }
 
 // NewSyntheticSystem generates a deterministic synthetic ontology + corpus
@@ -194,38 +227,80 @@ func (s *System) Config() Config { return s.cfg }
 // MinContextSize returns the effective small-context exclusion cutoff.
 func (s *System) MinContextSize() int { return s.cfg.minContextSize(s.Corpus.Len()) }
 
+// BuildStats returns the system's offline-build timing record. Stages
+// recorded after construction (context sets, prestige scoring) append to the
+// same record; Summary() renders the whole pipeline.
+func (s *System) BuildStats() *BuildStats { return s.stats }
+
+// contextWorkers resolves the context-set construction parallelism: an
+// explicit ContextSet.Workers wins, otherwise BuildWorkers applies (both
+// zero = GOMAXPROCS).
+func (s *System) contextWorkers() contextset.Config {
+	cfg := s.cfg.ContextSet
+	if cfg.Workers == 0 {
+		cfg.Workers = s.cfg.BuildWorkers
+	}
+	return cfg
+}
+
 // BuildTextContextSet constructs the text-based context paper set (§4).
 func (s *System) BuildTextContextSet() *ContextSet {
-	return contextset.BuildTextBased(s.analyzer, s.Ontology, s.cfg.ContextSet)
+	var cs *ContextSet
+	s.stats.Time("contextset-text", s.Corpus.Len(), "papers", func() {
+		cs = contextset.BuildTextBased(s.analyzer, s.Ontology, s.contextWorkers())
+	})
+	return cs
 }
 
 // BuildPatternContextSet constructs the simplified pattern-based context
 // paper set (§4).
 func (s *System) BuildPatternContextSet() *ContextSet {
-	return contextset.BuildPatternBased(s.posIndex, s.analyzer, s.Ontology, s.cfg.ContextSet)
+	var cs *ContextSet
+	s.stats.Time("contextset-pattern", s.Corpus.Len(), "papers", func() {
+		cs = contextset.BuildPatternBased(s.posIndex, s.analyzer, s.Ontology, s.contextWorkers())
+	})
+	return cs
 }
 
-// CitationScorer returns the citation-based prestige scorer (§3.1).
+// CitationScorer returns the citation-based prestige scorer (§3.1), built
+// once per System — it embeds the corpus-wide citation graph. Use WithOpts /
+// WithCrossContext for ablation variants sharing the graph.
 func (s *System) CitationScorer() *prestige.CitationScorer {
-	return prestige.NewCitationScorer(s.Corpus, s.cfg.PageRank)
+	s.citationOnce.Do(func() {
+		s.citation = prestige.NewCitationScorer(s.Corpus, s.cfg.PageRank)
+	})
+	return s.citation
 }
 
-// TextScorer returns the text-based prestige scorer (§3.2).
+// TextScorer returns the text-based prestige scorer (§3.2), built once per
+// System — it embeds the citation graph and co-author index. Use
+// WithRepSource for the cross-set representative variant sharing both.
 func (s *System) TextScorer() *prestige.TextScorer {
-	return prestige.NewTextScorer(s.analyzer, s.cfg.TextWeights)
+	s.textOnce.Do(func() {
+		s.text = prestige.NewTextScorer(s.analyzer, s.cfg.TextWeights)
+	})
+	return s.text
 }
 
-// PatternScorer returns the pattern-based prestige scorer (§3.3).
+// PatternScorer returns the pattern-based prestige scorer (§3.3), built once
+// per System; its mined-pattern cache then persists across score runs.
 func (s *System) PatternScorer() *prestige.PatternScorer {
-	return prestige.NewPatternScorer(s.posIndex, s.Ontology, s.cfg.Pattern, s.cfg.Match)
+	s.patternOnce.Do(func() {
+		s.pattern = prestige.NewPatternScorer(s.posIndex, s.Ontology, s.cfg.Pattern, s.cfg.Match)
+	})
+	return s.pattern
 }
 
 // score runs a scorer over a context set with the configured exclusion and
 // applies hierarchical max propagation (§3). Scoring fans out across
 // contexts per Config.Workers.
 func (s *System) score(sc prestige.Scorer, cs *ContextSet) Scores {
-	scores := prestige.ScoreAllParallel(sc, cs, s.MinContextSize(), s.cfg.Workers)
-	return prestige.PropagateMax(s.Ontology, scores)
+	var out Scores
+	s.stats.Time("score-"+sc.Name(), len(cs.Contexts()), "contexts", func() {
+		scores := prestige.ScoreAllParallel(sc, cs, s.MinContextSize(), s.cfg.Workers)
+		out = prestige.PropagateMax(s.Ontology, scores)
+	})
+	return out
 }
 
 // ScoreCitation computes citation-based prestige scores over a context set.

@@ -1,0 +1,94 @@
+package buildstats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimeRecordsStages(t *testing.T) {
+	s := New(4)
+	s.Time("analyze", 100, "papers", func() { time.Sleep(2 * time.Millisecond) })
+	s.Time("index", 0, "", func() {})
+	stages := s.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	if stages[0].Name != "analyze" || stages[0].Items != 100 || stages[0].Unit != "papers" {
+		t.Fatalf("bad first stage: %+v", stages[0])
+	}
+	if stages[0].Duration <= 0 {
+		t.Fatal("stage duration not measured")
+	}
+	if s.Total() < stages[0].Duration {
+		t.Fatal("total below first stage duration")
+	}
+	if s.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", s.Workers())
+	}
+}
+
+func TestRate(t *testing.T) {
+	st := Stage{Items: 500, Duration: time.Second}
+	if r := st.Rate(); r != 500 {
+		t.Fatalf("rate = %v, want 500", r)
+	}
+	if (Stage{}).Rate() != 0 {
+		t.Fatal("zero stage should have zero rate")
+	}
+}
+
+func TestPeakGoroutinesObserved(t *testing.T) {
+	s := New(2)
+	s.Time("fanout", 0, "", func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(8 * time.Millisecond)
+			}()
+		}
+		wg.Wait()
+	})
+	if s.PeakGoroutines() < 2 {
+		t.Fatalf("peak goroutines = %d, expected the sampler to see the fan-out", s.PeakGoroutines())
+	}
+}
+
+func TestSummaryMentionsStagesAndWorkers(t *testing.T) {
+	s := New(8)
+	s.Time("analyze", 42, "papers", func() {})
+	got := s.Summary()
+	for _, want := range []string{"analyze", "papers", "workers 8", "total"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestNilStatsIsSafe(t *testing.T) {
+	var s *Stats
+	ran := false
+	s.Time("x", 0, "", func() { ran = true })
+	if !ran {
+		t.Fatal("nil Stats must still run fn")
+	}
+}
+
+func TestConcurrentTime(t *testing.T) {
+	s := New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Time("stage", 1, "items", func() {})
+		}()
+	}
+	wg.Wait()
+	if len(s.Stages()) != 8 {
+		t.Fatalf("got %d stages, want 8", len(s.Stages()))
+	}
+}

@@ -8,13 +8,13 @@ package contextset
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/par"
 	"ctxsearch/internal/pattern"
 	"ctxsearch/internal/vector"
 )
@@ -292,13 +292,11 @@ func BuildTextBased(a *corpus.Analyzer, onto *ontology.Ontology, cfg Config) *Co
 		top         []ts
 	}
 	papers := c.Papers()
-	// Pre-warm the TF-IDF cache serially: concurrent first access is safe
-	// but would serialise on the analyzer lock anyway.
-	for _, p := range papers {
-		a.TFIDFAll(p.ID)
-	}
+	// Warm the TF-IDF caches in parallel; after Warm the per-paper reads
+	// below are lock-free instead of serialising on the analyzer mutex.
+	a.Warm(cfg.Workers)
 	rows := make([]paperRow, len(papers))
-	parallelFor(len(papers), cfg.Workers, func(i int) {
+	par.For(len(papers), cfg.Workers, func(i int) {
 		p := papers[i]
 		pv := a.TFIDFAll(p.ID)
 		pn := a.TFIDFAllNorm(p.ID)
@@ -406,7 +404,7 @@ func BuildPatternBased(ix *pattern.PosIndex, a *corpus.Analyzer, onto *ontology.
 		scores map[corpus.PaperID]float64
 	}
 	results := make([]termResult, len(terms))
-	parallelFor(len(terms), cfg.Workers, func(i int) {
+	par.For(len(terms), cfg.Workers, func(i int) {
 		term := terms[i]
 		training := c.EvidencePapers(term)
 		set := pattern.Build(ix, onto, term, training, termDF, pcfg)
@@ -502,39 +500,6 @@ func inheritFromAncestors(cs *ContextSet, onto *ontology.Ontology) {
 		cs.inheritedFrom[t] = origin
 		cs.decay[t] = onto.RateOfDecay(origin, t)
 	}
-}
-
-// parallelFor runs fn(i) for i in [0,n) across a bounded worker pool and
-// waits for completion. workers ≤ 0 selects GOMAXPROCS.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 }
 
 // closestNonEmptyAncestor walks up the hierarchy breadth-first and returns

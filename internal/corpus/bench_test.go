@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"testing"
+
+	"ctxsearch/internal/ontology"
+)
+
+func benchCorpus(b *testing.B, n int) *Corpus {
+	b.Helper()
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 80, MaxDepth: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Generate(o, DefaultGenConfig(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchAnalyzerBuild(b *testing.B, workers int) {
+	c := benchCorpus(b, 400)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewAnalyzerWorkers(c, workers)
+	}
+}
+
+func BenchmarkAnalyzerBuildWorkers1(b *testing.B) { benchAnalyzerBuild(b, 1) }
+func BenchmarkAnalyzerBuildWorkers8(b *testing.B) { benchAnalyzerBuild(b, 8) }
+
+func benchAnalyzerWarm(b *testing.B, workers int) {
+	c := benchCorpus(b, 400)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := NewAnalyzerWorkers(c, workers)
+		b.StartTimer()
+		a.Warm(workers)
+	}
+}
+
+func BenchmarkAnalyzerWarmWorkers1(b *testing.B) { benchAnalyzerWarm(b, 1) }
+func BenchmarkAnalyzerWarmWorkers8(b *testing.B) { benchAnalyzerWarm(b, 8) }

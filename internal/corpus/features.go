@@ -3,7 +3,9 @@ package corpus
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"ctxsearch/internal/par"
 	"ctxsearch/internal/textproc"
 	"ctxsearch/internal/vector"
 )
@@ -33,8 +35,11 @@ type Analyzer struct {
 	// DF over whole-paper term supports, used for TF-IDF weighting.
 	df *vector.DF
 	// cached TF-IDF vectors per section, computed lazily; mu guards the
-	// caches so parallel scorers can share one analyzer.
+	// caches so parallel scorers can share one analyzer. Once Warm has
+	// populated every slot, warmed flips and readers skip the lock — the
+	// caches are immutable from then on.
 	mu          sync.Mutex
+	warmed      atomic.Bool
 	weighted    []map[Section]vector.Sparse
 	weightedAll []vector.Sparse
 	norms       []map[Section]float64
@@ -42,8 +47,19 @@ type Analyzer struct {
 }
 
 // NewAnalyzer analyses every paper in the corpus with a stemming,
-// stopword-filtering tokenizer and builds the corpus DF table.
-func NewAnalyzer(c *Corpus) *Analyzer {
+// stopword-filtering tokenizer and builds the corpus DF table, fanning the
+// per-paper analysis out to GOMAXPROCS workers.
+func NewAnalyzer(c *Corpus) *Analyzer { return NewAnalyzerWorkers(c, 0) }
+
+// NewAnalyzerWorkers is NewAnalyzer with explicit build parallelism: papers
+// are split into contiguous shards, each shard is analysed by one worker
+// into its own document-frequency table, and the per-shard tables are
+// merged in shard order. The result is identical at every worker count —
+// per-paper analysis is independent (the tokenizer and stemmer are
+// stateless and shared), each Features slot is written by exactly one
+// worker, and DF counts are order-independent integers. workers <= 0
+// selects GOMAXPROCS; 1 reproduces the sequential build directly.
+func NewAnalyzerWorkers(c *Corpus, workers int) *Analyzer {
 	a := &Analyzer{
 		corpus:      c,
 		tok:         textproc.NewTokenizer(textproc.WithStemming(), textproc.WithStopwords(), textproc.WithMinLength(2)),
@@ -57,28 +73,82 @@ func NewAnalyzer(c *Corpus) *Analyzer {
 	for i := range a.normsAll {
 		a.normsAll[i] = -1
 	}
-	for _, p := range c.Papers() {
-		f := &Features{
-			ID:      p.ID,
-			Tokens:  make(map[Section][]string, len(Sections)),
-			TF:      make(map[Section]vector.Sparse, len(Sections)),
-			AllTF:   vector.New(),
-			Authors: make(map[string]bool, len(p.Authors)),
+	papers := c.Papers()
+	shards := par.Shards(len(papers), workers)
+	dfs := make([]*vector.DF, len(shards))
+	par.ForShards(shards, func(si int, sh par.Shard) {
+		df := vector.NewDF()
+		for i := sh.Lo; i < sh.Hi; i++ {
+			f := a.analyzePaper(papers[i])
+			a.feats[f.ID] = f
+			df.AddDoc(f.AllTF)
 		}
-		for _, s := range Sections {
-			toks := a.tok.Terms(p.SectionText(s))
-			f.Tokens[s] = toks
-			tf := vector.FromTerms(toks)
-			f.TF[s] = tf
-			f.AllTF.Add(tf)
-		}
-		for _, au := range p.Authors {
-			f.Authors[normAuthor(au)] = true
-		}
-		a.feats[p.ID] = f
-		a.df.AddDoc(f.AllTF)
+		dfs[si] = df
+	})
+	for _, df := range dfs {
+		a.df.Merge(df)
 	}
 	return a
+}
+
+// analyzePaper tokenizes one paper into its Features. Safe for concurrent
+// use: the tokenizer is stateless and nothing on the analyzer is written.
+func (a *Analyzer) analyzePaper(p *Paper) *Features {
+	f := &Features{
+		ID:      p.ID,
+		Tokens:  make(map[Section][]string, len(Sections)),
+		TF:      make(map[Section]vector.Sparse, len(Sections)),
+		AllTF:   vector.New(),
+		Authors: make(map[string]bool, len(p.Authors)),
+	}
+	for _, s := range Sections {
+		toks := a.tok.Terms(p.SectionText(s))
+		f.Tokens[s] = toks
+		tf := vector.FromTerms(toks)
+		f.TF[s] = tf
+		f.AllTF.Add(tf)
+	}
+	for _, au := range p.Authors {
+		f.Authors[normAuthor(au)] = true
+	}
+	return f
+}
+
+// Warm precomputes every per-section and whole-paper TF-IDF vector and norm
+// in parallel and freezes the caches: every subsequent TFIDF*/QueryVector
+// cache read is lock-free. Values are bit-identical to lazy computation
+// (the same df.Weight and Norm calls run, just eagerly), so a warmed and an
+// unwarmed analyzer are observationally indistinguishable apart from speed.
+// workers <= 0 selects GOMAXPROCS. Idempotent; concurrent lazy readers are
+// held off by the cache lock until the warm completes.
+func (a *Analyzer) Warm(workers int) {
+	if a.warmed.Load() {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.warmed.Load() {
+		return
+	}
+	par.For(len(a.feats), workers, func(i int) {
+		f := a.feats[i]
+		if f == nil {
+			return
+		}
+		w := make(map[Section]vector.Sparse, len(Sections))
+		n := make(map[Section]float64, len(Sections))
+		for _, s := range Sections {
+			v := a.df.Weight(f.TF[s])
+			w[s] = v
+			n[s] = v.Norm()
+		}
+		a.weighted[i] = w
+		a.norms[i] = n
+		va := a.df.Weight(f.AllTF)
+		a.weightedAll[i] = va
+		a.normsAll[i] = va.Norm()
+	})
+	a.warmed.Store(true)
 }
 
 func normAuthor(a string) string {
@@ -113,6 +183,9 @@ func (a *Analyzer) TFIDF(id PaperID, s Section) vector.Sparse {
 	if int(id) < 0 || int(id) >= len(a.feats) {
 		return nil
 	}
+	if a.warmed.Load() {
+		return a.weighted[id][s]
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.weighted[id] == nil {
@@ -131,6 +204,9 @@ func (a *Analyzer) TFIDFAll(id PaperID) vector.Sparse {
 	if int(id) < 0 || int(id) >= len(a.feats) {
 		return nil
 	}
+	if a.warmed.Load() {
+		return a.weightedAll[id]
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if v := a.weightedAll[id]; v != nil {
@@ -145,6 +221,9 @@ func (a *Analyzer) TFIDFAll(id PaperID) vector.Sparse {
 func (a *Analyzer) TFIDFNorm(id PaperID, s Section) float64 {
 	if int(id) < 0 || int(id) >= len(a.feats) {
 		return 0
+	}
+	if a.warmed.Load() {
+		return a.norms[id][s]
 	}
 	v := a.TFIDF(id, s)
 	a.mu.Lock()
@@ -165,6 +244,9 @@ func (a *Analyzer) TFIDFNorm(id PaperID, s Section) float64 {
 func (a *Analyzer) TFIDFAllNorm(id PaperID) float64 {
 	if int(id) < 0 || int(id) >= len(a.feats) {
 		return 0
+	}
+	if a.warmed.Load() {
+		return a.normsAll[id]
 	}
 	v := a.TFIDFAll(id)
 	a.mu.Lock()

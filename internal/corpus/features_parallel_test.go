@@ -1,0 +1,64 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelAnalyzerMatchesSequential is the golden equivalence test for
+// the sharded analyzer build: every worker count must produce exactly the
+// features, DF table and (after warming) TF-IDF caches of the sequential
+// build.
+func TestParallelAnalyzerMatchesSequential(t *testing.T) {
+	c, _ := testCorpus(t, 120)
+	seq := NewAnalyzerWorkers(c, 1)
+	for _, workers := range []int{2, 3, 8} {
+		par := NewAnalyzerWorkers(c, workers)
+		if !reflect.DeepEqual(seq.feats, par.feats) {
+			t.Fatalf("workers=%d: features differ from sequential build", workers)
+		}
+		if !reflect.DeepEqual(seq.df, par.df) {
+			t.Fatalf("workers=%d: DF table differs from sequential build", workers)
+		}
+	}
+}
+
+// TestWarmMatchesLazy verifies that the eager parallel cache warm produces
+// bit-identical TF-IDF vectors and norms to lazy on-demand computation.
+func TestWarmMatchesLazy(t *testing.T) {
+	c, _ := testCorpus(t, 60)
+	lazy := NewAnalyzerWorkers(c, 1)
+	warm := NewAnalyzerWorkers(c, 1)
+	warm.Warm(4)
+	if !warm.warmed.Load() {
+		t.Fatal("Warm did not set the warmed flag")
+	}
+	for _, p := range c.Papers() {
+		for _, s := range Sections {
+			if !reflect.DeepEqual(lazy.TFIDF(p.ID, s), warm.TFIDF(p.ID, s)) {
+				t.Fatalf("paper %d section %v: warmed TFIDF differs from lazy", p.ID, s)
+			}
+			if lazy.TFIDFNorm(p.ID, s) != warm.TFIDFNorm(p.ID, s) {
+				t.Fatalf("paper %d section %v: warmed norm differs from lazy", p.ID, s)
+			}
+		}
+		if !reflect.DeepEqual(lazy.TFIDFAll(p.ID), warm.TFIDFAll(p.ID)) {
+			t.Fatalf("paper %d: warmed TFIDFAll differs from lazy", p.ID)
+		}
+		if lazy.TFIDFAllNorm(p.ID) != warm.TFIDFAllNorm(p.ID) {
+			t.Fatalf("paper %d: warmed TFIDFAllNorm differs from lazy", p.ID)
+		}
+	}
+}
+
+// TestWarmIsIdempotent guards the double-checked fast path.
+func TestWarmIsIdempotent(t *testing.T) {
+	c, _ := testCorpus(t, 20)
+	a := NewAnalyzer(c)
+	a.Warm(2)
+	first := a.TFIDFAll(0)
+	a.Warm(2)
+	if !reflect.DeepEqual(first, a.TFIDFAll(0)) {
+		t.Fatal("second Warm changed cached vectors")
+	}
+}

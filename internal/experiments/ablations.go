@@ -27,7 +27,9 @@ func (s *Setup) AblateTeleport() TeleportAblation {
 	mk := func(tp citegraph.Teleport) ctxsearch.Scores {
 		opts := s.Sys.Config().PageRank
 		opts.Teleport = tp
-		scorer := prestige.NewCitationScorer(s.Sys.Corpus, opts)
+		// Clone the cached scorer: both teleport variants share the one
+		// corpus-wide citation graph.
+		scorer := s.Sys.CitationScorer().WithOpts(opts)
 		return prestige.ScoreAll(scorer, s.PatternSet, s.Sys.MinContextSize())
 	}
 	e1 := mk(citegraph.TeleportE1)
@@ -78,7 +80,7 @@ type HITSAblation struct {
 
 // AblateHITS runs the HITS-vs-PageRank correlation ablation.
 func (s *Setup) AblateHITS() HITSAblation {
-	g := prestige.GraphFromCorpus(s.Sys.Corpus)
+	g := s.Sys.CitationScorer().Graph()
 	pr := citegraph.PageRank(g, s.Sys.Config().PageRank)
 	auth, _ := citegraph.HITS(g, 0, 0)
 	var out HITSAblation
@@ -156,9 +158,8 @@ type CrossContextAblation struct {
 
 // AblateCrossContext runs the extension with Related=0.6/Unrelated=0.1.
 func (s *Setup) AblateCrossContext() CrossContextAblation {
-	base := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
-	ext := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
-	ext.CrossContextWeight = prestige.CrossContextWeights{Enabled: true, Related: 0.6, Unrelated: 0.1}
+	base := s.Sys.CitationScorer()
+	ext := base.WithCrossContext(prestige.CrossContextWeights{Enabled: true, Related: 0.6, Unrelated: 0.1})
 	cfg := eval.DefaultSeparabilityConfig()
 	var out CrossContextAblation
 	var shift, sdB, sdE float64
@@ -206,7 +207,7 @@ type SparsenessRow struct {
 
 // SparsenessByLevel computes both diagnostics per context level.
 func (s *Setup) SparsenessByLevel() map[int]SparsenessRow {
-	scorer := prestige.NewCitationScorer(s.Sys.Corpus, s.Sys.Config().PageRank)
+	scorer := s.Sys.CitationScorer()
 	type acc struct {
 		sp, iso float64
 		n       int

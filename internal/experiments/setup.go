@@ -98,7 +98,9 @@ func NewSetup(scale Scale, log io.Writer) (*Setup, error) {
 	s.Queries = eval.GenerateQueries(sys.Ontology, sys.Corpus, qcfg)
 
 	progress("building AC-answer sets")
-	builder := eval.NewACBuilder(sys.Index(), prestige.GraphFromCorpus(sys.Corpus), eval.DefaultACConfig())
+	// The citation scorer was already built above (ScoreCitation); reuse its
+	// graph instead of re-extracting the citation edges from the corpus.
+	builder := eval.NewACBuilder(sys.Index(), sys.CitationScorer().Graph(), eval.DefaultACConfig())
 	s.ACAnswers = make([]map[ctxsearch.PaperID]bool, len(s.Queries))
 	s.TrueAnswers = make([]map[ctxsearch.PaperID]bool, len(s.Queries))
 	for i, q := range s.Queries {
@@ -115,9 +117,11 @@ func NewSetup(scale Scale, log io.Writer) (*Setup, error) {
 // describes ("text-based scores were assigned to only [the] contexts that
 // contain at least one representative paper").
 func (s *Setup) scoreTextOnPatternSet() ctxsearch.Scores {
-	scorer := prestige.NewTextScorer(s.Sys.Analyzer(), s.Sys.Config().TextWeights)
-	scorer.RepSource = s.TextSet
-	scores := prestige.ScoreAll(scorer, s.PatternSet, s.Sys.MinContextSize())
+	// Clone the system's cached text scorer: the citation graph and
+	// co-author index it embeds are shared, not rebuilt.
+	scorer := s.Sys.TextScorer().WithRepSource(s.TextSet)
+	workers := s.Sys.Config().Workers
+	scores := prestige.ScoreAllParallel(scorer, s.PatternSet, s.Sys.MinContextSize(), workers)
 	return prestige.PropagateMax(s.Sys.Ontology, scores)
 }
 

@@ -31,6 +31,23 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
+// benchIndexBuild measures the sharded CSR build on a warmed analyzer (so
+// TF-IDF reads are lock-free and the index construction itself dominates).
+func benchIndexBuild(b *testing.B, workers int) {
+	o, _ := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 100, MaxDepth: 7})
+	c, _ := corpus.Generate(o, corpus.DefaultGenConfig(400))
+	a := corpus.NewAnalyzer(c)
+	a.Warm(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = BuildWorkers(a, workers)
+	}
+}
+
+func BenchmarkIndexBuildWorkers1(b *testing.B) { benchIndexBuild(b, 1) }
+func BenchmarkIndexBuildWorkers8(b *testing.B) { benchIndexBuild(b, 8) }
+
 // BenchmarkIndexSearchVector measures the raw accumulator hot path of
 // SearchVector (query vector pre-built, no tokenisation) at the
 // experiments.BenchScale() corpus size of 400 papers.

@@ -20,6 +20,7 @@ import (
 
 	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/par"
 	"ctxsearch/internal/vector"
 )
 
@@ -63,8 +64,21 @@ type accum struct {
 	touched []corpus.PaperID
 }
 
-// Build constructs the index from an analysed corpus.
-func Build(a *corpus.Analyzer) *Index {
+// Build constructs the index from an analysed corpus with GOMAXPROCS
+// workers.
+func Build(a *corpus.Analyzer) *Index { return BuildWorkers(a, 0) }
+
+// BuildWorkers constructs the index with explicit build parallelism. Papers
+// (in ascending ID order) are split into contiguous shards; each worker
+// counts its shard's postings, and after the term universe is merged each
+// worker fills its shard's postings into the shared CSR arrays at
+// precomputed disjoint cursors. The output is byte-identical at every
+// worker count: term IDs still follow lexicographic term order, per-term
+// counts are order-independent integer sums, and because shards are
+// contiguous ID ranges, writing shard s's postings after all of shard
+// s-1's reproduces exactly the ascending-doc posting layout of the
+// sequential build. workers <= 0 selects GOMAXPROCS.
+func BuildWorkers(a *corpus.Analyzer, workers int) *Index {
 	c := a.Corpus()
 	n := c.Len()
 	ix := &Index{
@@ -72,21 +86,35 @@ func Build(a *corpus.Analyzer) *Index {
 		norms:    make([]float64, n),
 	}
 
-	// Pass 1: term universe and per-term posting counts.
-	counts := make(map[string]int32)
 	papers := append([]*corpus.Paper(nil), c.Papers()...)
 	sort.Slice(papers, func(i, j int) bool { return papers[i].ID < papers[j].ID })
-	total := 0
-	for _, p := range papers {
-		w := a.TFIDFAll(p.ID)
-		ix.norms[p.ID] = w.Norm()
-		for term := range w {
-			counts[term]++
-			total++
+	shards := par.Shards(len(papers), workers)
+
+	// Pass 1 (sharded): per-shard term posting counts; norms land in
+	// disjoint slots. TFIDFAll hits the analyzer cache lock-free when the
+	// analyzer is warmed (NewSystem warms before building).
+	shardCounts := make([]map[string]int32, len(shards))
+	par.ForShards(shards, func(si int, sh par.Shard) {
+		m := make(map[string]int32)
+		for i := sh.Lo; i < sh.Hi; i++ {
+			p := papers[i]
+			w := a.TFIDFAll(p.ID)
+			ix.norms[p.ID] = w.Norm()
+			for term := range w {
+				m[term]++
+			}
+		}
+		shardCounts[si] = m
+	})
+
+	// Merge the term universe. Integer sums make the merge independent of
+	// shard order; sorting the union fixes the ID assignment.
+	counts := make(map[string]int32)
+	for _, m := range shardCounts {
+		for term, cnt := range m {
+			counts[term] += cnt
 		}
 	}
-
-	// Intern: IDs in lexicographic term order.
 	terms := make([]string, 0, len(counts))
 	for term := range counts {
 		terms = append(terms, term)
@@ -94,27 +122,46 @@ func Build(a *corpus.Analyzer) *Index {
 	sort.Strings(terms)
 	ix.termIDs = make(map[string]int32, len(terms))
 	ix.offsets = make([]int32, len(terms)+1)
+	total := int32(0)
 	for i, term := range terms {
 		ix.termIDs[term] = int32(i)
 		ix.offsets[i+1] = ix.offsets[i] + counts[term]
+		total += counts[term]
 	}
 
-	// Pass 2: fill the packed columns. Visiting papers in ascending ID
-	// order leaves every term's posting run sorted by doc with no per-term
-	// sort.
+	// Per-shard write cursors: shard s writes term t's postings starting at
+	// offsets[t] plus the posting counts of earlier shards, so shard
+	// regions are disjoint and concatenate in ascending doc order.
+	bases := make([][]int32, len(shards))
+	running := make([]int32, len(terms))
+	copy(running, ix.offsets[:len(terms)])
+	for si := range shards {
+		base := make([]int32, len(terms))
+		copy(base, running)
+		for term, cnt := range shardCounts[si] {
+			running[ix.termIDs[term]] += cnt
+		}
+		bases[si] = base
+	}
+
+	// Pass 2 (sharded): fill the packed columns. Within a shard, visiting
+	// papers in ascending ID order leaves every term's posting run sorted
+	// by doc with no per-term sort — exactly as in the sequential build.
 	ix.docs = make([]corpus.PaperID, total)
 	ix.weights = make([]float64, total)
-	next := make([]int32, len(terms))
-	copy(next, ix.offsets[:len(terms)])
-	for _, p := range papers {
-		for term, weight := range a.TFIDFAll(p.ID) {
-			t := ix.termIDs[term]
-			slot := next[t]
-			ix.docs[slot] = p.ID
-			ix.weights[slot] = weight
-			next[t] = slot + 1
+	par.ForShards(shards, func(si int, sh par.Shard) {
+		next := bases[si]
+		for i := sh.Lo; i < sh.Hi; i++ {
+			p := papers[i]
+			for term, weight := range a.TFIDFAll(p.ID) {
+				t := ix.termIDs[term]
+				slot := next[t]
+				ix.docs[slot] = p.ID
+				ix.weights[slot] = weight
+				next[t] = slot + 1
+			}
 		}
-	}
+	})
 
 	ix.accPool.New = func() any {
 		return &accum{val: make([]float64, n), seen: make([]bool, n)}

@@ -1,0 +1,70 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+)
+
+// TestParallelBuildMatchesSequential is the golden equivalence test for the
+// sharded index build: the CSR layout — term interning, offsets, packed
+// doc/weight columns and norms — must be byte-identical at every worker
+// count.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 60, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	seq := BuildWorkers(a, 1)
+	for _, workers := range []int{2, 3, 8} {
+		par := BuildWorkers(a, workers)
+		if !reflect.DeepEqual(seq.termIDs, par.termIDs) {
+			t.Fatalf("workers=%d: term interning differs", workers)
+		}
+		if !reflect.DeepEqual(seq.offsets, par.offsets) {
+			t.Fatalf("workers=%d: CSR offsets differ", workers)
+		}
+		if !reflect.DeepEqual(seq.docs, par.docs) {
+			t.Fatalf("workers=%d: packed doc column differs", workers)
+		}
+		if !reflect.DeepEqual(seq.weights, par.weights) {
+			t.Fatalf("workers=%d: packed weight column differs", workers)
+		}
+		if !reflect.DeepEqual(seq.norms, par.norms) {
+			t.Fatalf("workers=%d: norms differ", workers)
+		}
+	}
+}
+
+// TestParallelBuildSearchEquivalence double-checks the user-visible
+// behaviour: identical hits for a query at different build worker counts.
+func TestParallelBuildSearchEquivalence(t *testing.T) {
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 60, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	seq := BuildWorkers(a, 1)
+	par := BuildWorkers(a, 4)
+	for _, q := range []string{
+		"regulation of rna transcription factor binding",
+		"dna repair damage response",
+		"protein kinase signaling",
+	} {
+		hs, hp := seq.Search(q, Options{}), par.Search(q, Options{})
+		if !reflect.DeepEqual(hs, hp) {
+			t.Fatalf("query %q: hits differ between worker counts", q)
+		}
+	}
+}

@@ -31,6 +31,20 @@ func BenchmarkPosIndexBuild(b *testing.B) {
 	}
 }
 
+func benchPosIndexBuild(b *testing.B, workers int) {
+	o, _ := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 100, MaxDepth: 7})
+	c, _ := corpus.Generate(o, corpus.DefaultGenConfig(400))
+	a := corpus.NewAnalyzer(c)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewPosIndexWorkers(a, workers)
+	}
+}
+
+func BenchmarkPosIndexBuildWorkers1(b *testing.B) { benchPosIndexBuild(b, 1) }
+func BenchmarkPosIndexBuildWorkers8(b *testing.B) { benchPosIndexBuild(b, 8) }
+
 func BenchmarkPhraseOccurrences(b *testing.B) {
 	o, c, ix := benchFixture(b)
 	term := c.EvidenceTerms()[0]

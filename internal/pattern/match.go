@@ -109,27 +109,28 @@ func (s *Set) matchSequential(ix *PosIndex, p *Pattern, within map[corpus.PaperI
 // present; strength scales with the fraction present and the best section
 // weight among the present words.
 func (s *Set) matchSet(ix *PosIndex, p *Pattern, within map[corpus.PaperID]bool, cfg MatchConfig, scores map[corpus.PaperID]float64) {
-	type acc struct {
-		present int
-		bestSec float64
+	// The accumulator map is pooled on the index (one lease per
+	// middle-joined pattern, across all concurrent scoring workers).
+	byDoc, _ := ix.setAccPool.Get().(map[corpus.PaperID]setAcc)
+	if byDoc == nil {
+		byDoc = make(map[corpus.PaperID]setAcc)
+	} else {
+		clear(byDoc)
 	}
-	byDoc := make(map[corpus.PaperID]*acc)
+	defer ix.setAccPool.Put(byDoc)
 	for _, w := range p.Middle {
 		for doc, positions := range ix.positions[w] {
 			if within != nil && !within[doc] {
 				continue
 			}
 			a := byDoc[doc]
-			if a == nil {
-				a = &acc{}
-				byDoc[doc] = a
-			}
 			a.present++
 			for _, pos := range positions {
 				if sw := cfg.SectionWeights[ix.SectionOf(doc, int(pos))]; sw > a.bestSec {
 					a.bestSec = sw
 				}
 			}
+			byDoc[doc] = a
 		}
 	}
 	need := float64(len(p.Middle)) * cfg.MinSetFraction
@@ -139,6 +140,13 @@ func (s *Set) matchSet(ix *PosIndex, p *Pattern, within map[corpus.PaperID]bool,
 			scores[doc] += p.Score * a.bestSec * f
 		}
 	}
+}
+
+// setAcc accumulates middle-joined matching state for one document: how
+// many of the pattern's words are present and the best section weight seen.
+type setAcc struct {
+	present int
+	bestSec float64
 }
 
 // contextOverlap measures how much of the observed window around a match is

@@ -8,8 +8,10 @@ package pattern
 
 import (
 	"sort"
+	"sync"
 
 	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/par"
 )
 
 // sectionGap separates sections in the global position space so that a
@@ -36,46 +38,88 @@ type PosIndex struct {
 	positions map[string]map[corpus.PaperID][]int32
 	// bounds[doc] = start position of each section, aligned with
 	// corpus.Sections; used to map a global position back to its section
-	// and to recover window tokens.
-	bounds map[corpus.PaperID][]int32
+	// and to recover window tokens. Indexed by PaperID (IDs are dense).
+	bounds [][]int32
 	// tokens[doc] = concatenated token stream with section gaps, indexed by
 	// global position (gap slots hold "").
-	tokens map[corpus.PaperID][]string
+	tokens [][]string
+	// phrasePool recycles PhraseOccurrences' per-word position-set scratch
+	// across calls — pattern matching runs it for every (pattern, context)
+	// pair, so the maps are worth pooling.
+	phrasePool sync.Pool
+	// setAccPool recycles matchSet's per-document accumulator maps the same
+	// way (one lease per middle-joined pattern scored).
+	setAccPool sync.Pool
 }
 
-// NewPosIndex builds the positional index from an analysed corpus.
-func NewPosIndex(a *corpus.Analyzer) *PosIndex {
+// NewPosIndex builds the positional index from an analysed corpus with
+// GOMAXPROCS workers.
+func NewPosIndex(a *corpus.Analyzer) *PosIndex { return NewPosIndexWorkers(a, 0) }
+
+// NewPosIndexWorkers is NewPosIndex with explicit build parallelism: papers
+// are split into contiguous shards, each worker builds its shard's position
+// maps, token streams and section bounds, and the per-shard position maps
+// are merged afterwards. The merged index is identical at every worker
+// count — every (word, doc) entry is produced by exactly one shard (docs
+// are partitioned), so the merge writes disjoint keys, and the per-doc
+// position slices are built in the same ascending order as the sequential
+// build. workers <= 0 selects GOMAXPROCS.
+func NewPosIndexWorkers(a *corpus.Analyzer, workers int) *PosIndex {
+	n := a.Corpus().Len()
 	ix := &PosIndex{
 		analyzer:  a,
 		positions: make(map[string]map[corpus.PaperID][]int32),
-		bounds:    make(map[corpus.PaperID][]int32, a.Corpus().Len()),
-		tokens:    make(map[corpus.PaperID][]string, a.Corpus().Len()),
+		bounds:    make([][]int32, n),
+		tokens:    make([][]string, n),
 	}
-	for _, p := range a.Corpus().Papers() {
-		f := a.Features(p.ID)
-		var stream []string
-		var bounds []int32
-		for _, s := range corpus.Sections {
-			if len(stream) > 0 {
-				for g := 0; g < sectionGap; g++ {
-					stream = append(stream, "")
+	papers := a.Corpus().Papers()
+	shards := par.Shards(len(papers), workers)
+	locals := make([]map[string]map[corpus.PaperID][]int32, len(shards))
+	par.ForShards(shards, func(si int, sh par.Shard) {
+		local := make(map[string]map[corpus.PaperID][]int32)
+		for i := sh.Lo; i < sh.Hi; i++ {
+			p := papers[i]
+			f := a.Features(p.ID)
+			var stream []string
+			var bounds []int32
+			for _, s := range corpus.Sections {
+				if len(stream) > 0 {
+					for g := 0; g < sectionGap; g++ {
+						stream = append(stream, "")
+					}
 				}
+				bounds = append(bounds, int32(len(stream)))
+				stream = append(stream, f.Tokens[s]...)
 			}
-			bounds = append(bounds, int32(len(stream)))
-			stream = append(stream, f.Tokens[s]...)
+			ix.bounds[p.ID] = bounds
+			ix.tokens[p.ID] = stream
+			for pos, w := range stream {
+				if w == "" {
+					continue
+				}
+				m := local[w]
+				if m == nil {
+					m = make(map[corpus.PaperID][]int32)
+					local[w] = m
+				}
+				m[p.ID] = append(m[p.ID], int32(pos))
+			}
 		}
-		ix.bounds[p.ID] = bounds
-		ix.tokens[p.ID] = stream
-		for pos, w := range stream {
-			if w == "" {
+		locals[si] = local
+	})
+	// Merge shard maps; (word, doc) keys are disjoint across shards, so the
+	// first shard seen for a word donates its inner map wholesale and later
+	// shards insert fresh doc keys into it.
+	for _, local := range locals {
+		for w, byDoc := range local {
+			g := ix.positions[w]
+			if g == nil {
+				ix.positions[w] = byDoc
 				continue
 			}
-			m := ix.positions[w]
-			if m == nil {
-				m = make(map[corpus.PaperID][]int32)
-				ix.positions[w] = m
+			for d, ps := range byDoc {
+				g[d] = ps
 			}
-			m[p.ID] = append(m[p.ID], int32(pos))
 		}
 	}
 	return ix
@@ -110,9 +154,18 @@ func (ix *PosIndex) SectionOf(doc corpus.PaperID, pos int) corpus.Section {
 	return sec
 }
 
+// phraseScratch holds the per-word position sets PhraseOccurrences builds
+// while verifying word adjacency. Pooled per PosIndex: pattern matching
+// runs a phrase query for every (pattern, context) pair, and reusing the
+// maps (cleared per document) avoids re-allocating them millions of times.
+type phraseScratch struct {
+	sets []map[int32]bool
+}
+
 // PhraseOccurrences finds all contiguous occurrences of the stemmed word
 // sequence across the corpus (or within the docs set if non-nil). Returns
-// occurrences grouped per document in position order.
+// occurrences grouped per document in position order. Safe for concurrent
+// use.
 func (ix *PosIndex) PhraseOccurrences(words []string, within map[corpus.PaperID]bool) map[corpus.PaperID][]Occurrence {
 	if len(words) == 0 {
 		return nil
@@ -124,15 +177,26 @@ func (ix *PosIndex) PhraseOccurrences(words []string, within map[corpus.PaperID]
 			rarest = i
 		}
 	}
+	sc, _ := ix.phrasePool.Get().(*phraseScratch)
+	if sc == nil {
+		sc = &phraseScratch{}
+	}
+	defer ix.phrasePool.Put(sc)
+	for len(sc.sets) < len(words) {
+		sc.sets = append(sc.sets, nil)
+	}
+	sets := sc.sets[:len(words)]
 	driver := ix.positions[words[rarest]]
 	out := make(map[corpus.PaperID][]Occurrence)
 	for doc, drvPositions := range driver {
 		if within != nil && !within[doc] {
 			continue
 		}
-		// Collect the other words' position sets for this doc.
+		// Collect the other words' position sets for this doc, reusing the
+		// pooled maps (cleared before each fill; stale entries from an
+		// earlier document are never read because every non-rarest index is
+		// refilled before the match loop runs).
 		ok := true
-		sets := make([]map[int32]bool, len(words))
 		for i, w := range words {
 			if i == rarest {
 				continue
@@ -142,11 +206,16 @@ func (ix *PosIndex) PhraseOccurrences(words []string, within map[corpus.PaperID]
 				ok = false
 				break
 			}
-			set := make(map[int32]bool, len(ps))
+			set := sets[i]
+			if set == nil {
+				set = make(map[int32]bool, len(ps))
+				sets[i] = set
+			} else {
+				clear(set)
+			}
 			for _, p := range ps {
 				set[p] = true
 			}
-			sets[i] = set
 		}
 		if !ok {
 			continue

@@ -61,6 +61,20 @@ func NewCitationScorer(c *corpus.Corpus, opts citegraph.PageRankOpts) *CitationS
 	return &CitationScorer{graph: GraphFromCorpus(c), opts: opts}
 }
 
+// WithOpts returns a scorer with different PageRank options sharing the
+// receiver's (immutable) citation graph — ablations sweep options without
+// re-extracting the graph from the corpus each time. The clone starts with
+// a fresh scratch pool (arenas are cheap; sync.Pool must not be copied).
+func (s *CitationScorer) WithOpts(opts citegraph.PageRankOpts) *CitationScorer {
+	return &CitationScorer{graph: s.graph, opts: opts, CrossContextWeight: s.CrossContextWeight}
+}
+
+// WithCrossContext returns a scorer with the §7 cross-context extension
+// configured, sharing the receiver's citation graph.
+func (s *CitationScorer) WithCrossContext(w CrossContextWeights) *CitationScorer {
+	return &CitationScorer{graph: s.graph, opts: s.opts, CrossContextWeight: w}
+}
+
 // Name implements Scorer.
 func (s *CitationScorer) Name() string { return "citation" }
 

@@ -1,6 +1,8 @@
 package prestige
 
 import (
+	"sync"
+
 	"ctxsearch/internal/citegraph"
 	"ctxsearch/internal/contextset"
 	"ctxsearch/internal/corpus"
@@ -42,6 +44,11 @@ type TextScorer struct {
 	weights  TextWeights
 	coAuthor map[string][]corpus.PaperID
 
+	// bridgePool recycles the level-1 author-overlap bridge sets —
+	// Similarity runs once per (paper, context) pair, so the map is worth
+	// pooling. Each ScoreAllParallel worker leases its own map per call.
+	bridgePool sync.Pool
+
 	// RepSource optionally supplies representative papers from a different
 	// context set. The paper's §4 does exactly this: text scores are
 	// assigned to pattern-based-set contexts using the representatives
@@ -57,6 +64,20 @@ func NewTextScorer(a *corpus.Analyzer, weights TextWeights) *TextScorer {
 		graph:    GraphFromCorpus(a.Corpus()),
 		weights:  weights,
 		coAuthor: a.CoAuthorIndex(),
+	}
+}
+
+// WithRepSource returns a scorer that draws representative papers from cs
+// instead of the scored set, sharing the (immutable) citation graph and
+// co-author index with the receiver — cloning avoids rebuilding both and
+// leaves the receiver untouched, so cached scorers stay reusable.
+func (s *TextScorer) WithRepSource(cs *contextset.ContextSet) *TextScorer {
+	return &TextScorer{
+		analyzer:  s.analyzer,
+		graph:     s.graph,
+		weights:   s.weights,
+		coAuthor:  s.coAuthor,
+		RepSource: cs,
 	}
 }
 
@@ -144,8 +165,15 @@ func authorJaccard(a, b map[string]bool) float64 {
 // levelOneOverlap counts third papers co-authored by an author of p and an
 // author of q, saturating at 3 such bridges.
 func (s *TextScorer) levelOneOverlap(p, q corpus.PaperID, ap, aq map[string]bool) float64 {
-	// Papers (other than p, q) with an author from p.
-	bridge := map[corpus.PaperID]bool{}
+	// Papers (other than p, q) with an author from p. The set is pooled —
+	// this runs once per (paper, context) pair across thousands of contexts.
+	bridge, _ := s.bridgePool.Get().(map[corpus.PaperID]bool)
+	if bridge == nil {
+		bridge = make(map[corpus.PaperID]bool)
+	} else {
+		clear(bridge)
+	}
+	defer s.bridgePool.Put(bridge)
 	for a := range ap {
 		for _, z := range s.coAuthor[a] {
 			if z != p && z != q {

@@ -21,6 +21,20 @@ func (d *DF) AddDoc(terms Sparse) {
 	}
 }
 
+// Merge folds another DF table into d. Because document frequencies are
+// integer counts, merging per-shard tables yields exactly the table a
+// sequential AddDoc pass over the same documents would, in any merge order —
+// the property the sharded corpus analyzer relies on.
+func (d *DF) Merge(o *DF) {
+	if o == nil {
+		return
+	}
+	d.docs += o.docs
+	for t, n := range o.df {
+		d.df[t] += n
+	}
+}
+
 // Docs returns the number of documents recorded.
 func (d *DF) Docs() int { return d.docs }
 
