@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query bench-prestige bench-build serve-smoke
+.PHONY: verify build test vet race bench bench-query bench-prestige bench-build bench-topk serve-smoke
 
 verify: vet build test race
 
@@ -24,7 +24,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./internal/corpus/... ./internal/pattern/... ./internal/contextset/... ./internal/par/... ./internal/buildstats/... ./cmd/ctxsearch/...
+	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./internal/corpus/... ./internal/pattern/... ./internal/contextset/... ./internal/par/... ./internal/buildstats/... ./internal/cache/... ./internal/topk/... ./internal/store/... ./cmd/ctxsearch/...
 
 # Black-box smoke test of the serve command: boots the real binary, waits
 # for readiness, exercises the HTTP API with curl, and checks that SIGTERM
@@ -49,6 +49,15 @@ bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkIndexBuildWorkers' -benchmem ./internal/index/
 	$(GO) test -run xxx -bench 'BenchmarkPosIndexBuildWorkers' -benchmem ./internal/pattern/
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchmem .
+
+# The exact-top-k benchmarks behind BENCH_PR5.json: the MaxScore-pruned
+# vector search vs the exhaustive Limit-0 pass over a large context, the
+# bounded-selection engine merge at page sizes 10/100 vs the full ranked
+# list, and the result-cache hit path (must stay allocation-free).
+bench-topk:
+	$(GO) test -run xxx -bench 'BenchmarkSearchVectorContextTopK' -benchmem ./internal/index/
+	$(GO) test -run xxx -bench 'BenchmarkEngineSearch8|BenchmarkEngineSearchTop' -benchmem ./internal/search/
+	$(GO) test -run xxx -bench 'BenchmarkCacheHit' -benchmem ./internal/cache/
 
 # The prestige-pipeline benchmarks behind BENCH_PR3.json: the CSR-matrix
 # query merge, map-vs-matrix lookups, the arena-reusing subgraph+PageRank

@@ -50,6 +50,14 @@
 //	-http-write-timeout D  http.Server WriteTimeout (default 30s)
 //	-http-idle-timeout D   http.Server IdleTimeout (default 2m)
 //	-shutdown-timeout D    drain window on SIGINT/SIGTERM (default 10s)
+//	-cache-entries N       /search result-cache capacity (default 1024,
+//	                       <=0 disables caching)
+//	-cache-ttl D           cached /search response lifetime (default 1m,
+//	                       <=0 = no expiry; every engine swap still
+//	                       invalidates the cache)
+//	-debug-addr ADDR       serve /debug/pprof on a SEPARATE listener
+//	                       (default off; bind to localhost or a private
+//	                       interface — never the public port)
 //
 // serve binds its port immediately and builds the engine in the
 // background: /healthz answers at once, /readyz (and the API) flip from
@@ -127,6 +135,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	httpWriteTimeout := fs.Duration("http-write-timeout", 30*time.Second, "serve: http.Server WriteTimeout")
 	httpIdleTimeout := fs.Duration("http-idle-timeout", 2*time.Minute, "serve: http.Server IdleTimeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "serve: drain window for in-flight requests on SIGINT/SIGTERM")
+	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "serve: /search result-cache capacity (<=0 disables caching)")
+	cacheTTL := fs.Duration("cache-ttl", server.DefaultCacheTTL, "serve: cached /search response lifetime (<=0 = no expiry)")
+	debugAddr := fs.String("debug-addr", "", "serve: /debug/pprof listen address (empty = profiling off; never expose publicly)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,10 +158,11 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			cfg:        cfg,
 			corpusPath: *corpusPath, oboPath: *oboPath,
 			setKind: *setKind, scoreFn: *scoreFn, statePath: *statePath,
-			addr:         *addr,
+			addr: *addr, debugAddr: *debugAddr,
 			queryTimeout: *queryTimeout, maxInflight: *maxInflight,
 			readTimeout: *httpReadTimeout, writeTimeout: *httpWriteTimeout,
 			idleTimeout: *httpIdleTimeout, shutdownTimeout: *shutdownTimeout,
+			cacheEntries: *cacheEntries, cacheTTL: *cacheTTL,
 		})
 	}
 
@@ -213,11 +225,13 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 type serveOpts struct {
 	cfg                                    ctxsearch.Config
 	corpusPath, oboPath, setKind, scoreFn  string
-	statePath, addr                        string
+	statePath, addr, debugAddr             string
 	queryTimeout                           time.Duration
 	maxInflight                            int
 	readTimeout, writeTimeout, idleTimeout time.Duration
 	shutdownTimeout                        time.Duration
+	cacheEntries                           int
+	cacheTTL                               time.Duration
 }
 
 // serveCmd runs the hardened HTTP server: the port binds immediately with a
@@ -234,15 +248,45 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 	if mi <= 0 {
 		mi = -1
 	}
+	ce := o.cacheEntries
+	if ce <= 0 {
+		ce = -1 // flag "disabled" → Config "caching off"
+	}
+	ct := o.cacheTTL
+	if ct <= 0 {
+		ct = -1 // flag "no expiry" → Config "no TTL"
+	}
 	srv := server.NewPending(server.Config{
 		QueryTimeout: qt,
 		MaxInflight:  mi,
+		CacheEntries: ce,
+		CacheTTL:     ct,
 		Logger:       log.New(os.Stderr, "ctxsearch: ", log.LstdFlags),
 	})
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if o.debugAddr != "" {
+		// The profiling suite lives on its own listener so it can be bound
+		// to localhost while -addr faces the world; a CPU profile or trace
+		// holds its response open for its whole capture window, hence the
+		// generous write timeout. A failed debug bind kills the deployment
+		// — an operator who asked for profiling should not silently run
+		// without it.
+		go func() {
+			derr := server.Run(ctx, o.debugAddr, server.DebugHandler(), server.RunConfig{
+				ReadTimeout:     5 * time.Second,
+				WriteTimeout:    5 * time.Minute,
+				ShutdownTimeout: o.shutdownTimeout,
+				OnListen:        func(a net.Addr) { fmt.Fprintf(out, "debug listening on %s (pprof)\n", a) },
+			})
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "ctxsearch: debug listener:", derr)
+				cancel()
+			}
+		}()
+	}
 	buildErr := make(chan error, 1)
 	go func() {
 		sys, err := buildSystem(o.cfg, o.corpusPath, o.oboPath, false)

@@ -51,6 +51,11 @@ type Index struct {
 	docs    []corpus.PaperID
 	weights []float64
 	norms   []float64
+	// Per-term posting maxima backing the MaxScore top-k evaluation mode
+	// (see topk.go): maxWeight[t] is the largest posting weight of term t,
+	// maxRatio[t] the largest weight/‖doc‖ over its postings.
+	maxWeight []float64
+	maxRatio  []float64
 	// accPool recycles dense score accumulators across searches.
 	accPool sync.Pool
 }
@@ -160,6 +165,29 @@ func BuildWorkers(a *corpus.Analyzer, workers int) *Index {
 				ix.weights[slot] = weight
 				next[t] = slot + 1
 			}
+		}
+	})
+
+	// Pass 3 (sharded by term): per-term posting maxima for the MaxScore
+	// top-k bounds. Maxima are order-independent, so the result is
+	// identical at any worker count.
+	ix.maxWeight = make([]float64, len(terms))
+	ix.maxRatio = make([]float64, len(terms))
+	par.ForShards(par.Shards(len(terms), workers), func(_ int, sh par.Shard) {
+		for t := sh.Lo; t < sh.Hi; t++ {
+			var mw, mr float64
+			for k := ix.offsets[t]; k < ix.offsets[t+1]; k++ {
+				w := ix.weights[k]
+				if w > mw {
+					mw = w
+				}
+				if dn := ix.norms[ix.docs[k]]; dn > 0 {
+					if r := w / dn; r > mr {
+						mr = r
+					}
+				}
+			}
+			ix.maxWeight[t], ix.maxRatio[t] = mw, mr
 		}
 	})
 
@@ -275,10 +303,18 @@ func (ix *Index) SearchVector(qv vector.Sparse, opts Options) []Hit {
 // periodically, so an abandoned or deadline-expired query stops promptly
 // instead of running to completion. A completed call returns exactly the
 // hits SearchVector would; a cancelled call returns (nil, ctx.Err()).
+//
+// Bounded queries (Limit > 0) are evaluated with exact MaxScore-style
+// dynamic pruning (see topk.go): work scales with the result page rather
+// than the corpus, and the returned page — documents, order, and score
+// bits — is identical to the exhaustive evaluation's.
 func (ix *Index) SearchVectorContext(ctx context.Context, qv vector.Sparse, opts Options) ([]Hit, error) {
 	qn := qv.Norm()
 	if qn == 0 {
 		return nil, ctx.Err()
+	}
+	if opts.Limit > 0 {
+		return ix.searchTopK(ctx, qv, opts)
 	}
 	qts := ix.resolveQuery(qv)
 	acc := ix.getAccum()

@@ -1,0 +1,270 @@
+package index
+
+import (
+	"context"
+	"sort"
+
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/topk"
+	"ctxsearch/internal/vector"
+)
+
+// This file implements the exact MaxScore-style top-k evaluation mode of
+// SearchVectorContext: when a query asks for a bounded result page
+// (Options.Limit > 0), the postings are walked document-at-a-time with
+// rank-safe dynamic pruning instead of scoring every matching document.
+//
+// The machinery rests on two per-term maxima computed at build time:
+//
+//   - maxWeight[t]: the largest posting weight of term t, giving the
+//     dot-space bound qw_t·maxWeight[t] on t's contribution to any
+//     document's query dot product;
+//   - maxRatio[t]: the largest weight/‖doc‖ over t's postings, giving the
+//     document-independent cosine-space bound qw_t·maxRatio[t]/‖q‖.
+//
+// Query terms are processed in descending cosine-bound order. A running
+// threshold θ — the worst score in the bounded top-k heap once it fills,
+// or Options.Threshold before that — splits them into an essential prefix
+// and a non-essential suffix whose cumulative bound cannot reach θ: no
+// document containing only non-essential terms can enter the result page,
+// so candidate enumeration walks only the essential postings. Each
+// candidate is then bounded with its true norm before the non-essential
+// terms are probed (cheapest bound first, early-terminating as soon as the
+// residual bound falls under θ).
+//
+// Exactness (rank-safety) is preserved down to the last bit:
+//
+//   - every pruning comparison uses an upper bound inflated by boundSlack,
+//     absorbing the ULP-level differences between the bound's float
+//     summation order and the true score's;
+//   - a surviving candidate's score is re-summed in ascending term-ID
+//     order — exactly the accumulation order of the exhaustive path — so
+//     returned scores are byte-identical to SearchVector's;
+//   - threshold comparisons prune strictly below (score == Threshold is
+//     kept), and a full heap prunes at bound ≤ θ: candidates arrive in
+//     ascending document order, so a later candidate tying the heap
+//     minimum loses the ascending-doc tiebreak anyway.
+//
+// The golden equivalence tests (topk_test.go) assert byte-identical pages
+// against the exhaustive path across randomized (k, threshold, restriction)
+// combinations.
+
+// boundSlack multiplicatively inflates floating-point upper bounds before
+// pruning comparisons. Reordering an n-term float sum perturbs it by at
+// most n·ε relative (ε = 2⁻⁵²); 1e-9 covers n up to ~10⁶ query terms,
+// far beyond any real query or centroid, at a negligible loss of pruning
+// power.
+const boundSlack = 1 + 1e-9
+
+// worseHit orders hits ascending by score, ties by descending doc — the
+// inverse of the returned (score desc, doc asc) page order, as the top-k
+// heap requires.
+func worseHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+// termCursor is one query term's posting cursor in the top-k walk.
+type termCursor struct {
+	docs []corpus.PaperID
+	ws   []float64
+	pos  int
+	// qi is the term's position in the term-ID-sorted query (the exact
+	// re-summation order); qw its query weight.
+	qi int
+	qw float64
+	// ubCos bounds the term's cosine contribution for any document
+	// (qw·maxRatio/‖q‖); ubDot bounds its dot-product contribution
+	// (qw·maxWeight).
+	ubCos float64
+	ubDot float64
+}
+
+// seek advances the cursor to the first posting with doc ≥ target
+// (galloping then binary search — candidates arrive in ascending order, so
+// the cursor only ever moves forward) and reports the weight when the
+// target is present.
+func (c *termCursor) seek(target corpus.PaperID) (float64, bool) {
+	lo := c.pos
+	n := len(c.docs)
+	if lo >= n {
+		return 0, false
+	}
+	if c.docs[lo] >= target {
+		c.pos = lo
+		if c.docs[lo] == target {
+			return c.ws[lo], true
+		}
+		return 0, false
+	}
+	// Gallop to bracket the target, then binary search the bracket.
+	step := 1
+	hi := lo + 1
+	for hi < n && c.docs[hi] < target {
+		lo = hi
+		hi += step
+		step *= 2
+	}
+	if hi > n {
+		hi = n
+	}
+	i := lo + sort.Search(hi-lo, func(k int) bool { return c.docs[lo+k] >= target })
+	c.pos = i
+	if i < n && c.docs[i] == target {
+		return c.ws[i], true
+	}
+	return 0, false
+}
+
+// searchTopK is the Limit > 0 evaluation mode of SearchVectorContext. It
+// returns exactly the page the exhaustive path would: the Limit best hits
+// by (score desc, doc asc), filtered by Threshold, scores bit-identical.
+func (ix *Index) searchTopK(ctx context.Context, qv vector.Sparse, opts Options) ([]Hit, error) {
+	qn := qv.Norm()
+	qts := ix.resolveQuery(qv)
+	if len(qts) == 0 {
+		return nil, ctx.Err()
+	}
+	cur := make([]termCursor, len(qts))
+	for i, qt := range qts {
+		docs, ws := ix.postingsOf(qt.id)
+		cur[i] = termCursor{
+			docs: docs, ws: ws, qi: i, qw: qt.w,
+			ubCos: qt.w * ix.maxRatio[qt.id] / qn,
+			ubDot: qt.w * ix.maxWeight[qt.id],
+		}
+	}
+	// Descending cosine-bound order; ties by query position for
+	// determinism.
+	sort.Slice(cur, func(i, j int) bool {
+		if cur[i].ubCos != cur[j].ubCos {
+			return cur[i].ubCos > cur[j].ubCos
+		}
+		return cur[i].qi < cur[j].qi
+	})
+	// tailCos[i] / tailDot[i] bound the total contribution of the term
+	// suffix cur[i:] in cosine / dot space.
+	tailCos := make([]float64, len(cur)+1)
+	tailDot := make([]float64, len(cur)+1)
+	for i := len(cur) - 1; i >= 0; i-- {
+		tailCos[i] = tailCos[i+1] + cur[i].ubCos
+		tailDot[i] = tailDot[i+1] + cur[i].ubDot
+	}
+
+	heap := topk.New(opts.Limit, worseHit)
+	// cannotQualify reports whether a document with upper-bounded score b
+	// (already slack-inflated) is provably outside the result page.
+	// Threshold prunes strictly below (equality is kept); a full heap
+	// prunes at b ≤ θ because any later candidate tying the heap minimum
+	// has a larger doc ID and loses the tiebreak.
+	cannotQualify := func(b float64) bool {
+		if !(b > 0) || b < opts.Threshold {
+			return true
+		}
+		return heap.Full() && b <= heap.Min().Score
+	}
+	// nEss delimits the essential prefix: the suffix cur[nEss:] is
+	// non-essential once its cumulative bound cannot qualify. Re-checked
+	// whenever the heap threshold rises.
+	nEss := len(cur)
+	shrink := func() {
+		for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack) {
+			nEss--
+		}
+	}
+	shrink()
+
+	// contrib holds the current candidate's posting weight per query-term
+	// position (term-ID order); present lists the touched positions for
+	// sparse reset.
+	contrib := make([]float64, len(qts))
+	present := make([]int, 0, len(qts))
+	restricted := opts.restricted()
+	visited := 0
+	for nEss > 0 {
+		// Next candidate: the minimum document under the essential cursors.
+		minDoc := corpus.PaperID(-1)
+		for i := 0; i < nEss; i++ {
+			c := &cur[i]
+			if c.pos < len(c.docs) {
+				if d := c.docs[c.pos]; minDoc < 0 || d < minDoc {
+					minDoc = d
+				}
+			}
+		}
+		if minDoc < 0 {
+			break // essential postings exhausted: no further doc can qualify
+		}
+		if visited&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		visited++
+		// Gather essential contributions, advancing their cursors past the
+		// candidate.
+		essDot := 0.0
+		for i := 0; i < nEss; i++ {
+			c := &cur[i]
+			if c.pos < len(c.docs) && c.docs[c.pos] == minDoc {
+				w := c.ws[c.pos]
+				contrib[c.qi] = w
+				present = append(present, c.qi)
+				essDot += c.qw * w
+				c.pos++
+			}
+		}
+		dn := ix.norms[minDoc]
+		if dn != 0 && (!restricted || opts.allows(minDoc)) {
+			inv := 1 / (qn * dn)
+			// Candidate bound with its true norm: essential contributions
+			// plus the non-essential dot-space tail.
+			b := (essDot + tailDot[nEss]) * inv * boundSlack
+			if !cannotQualify(b) {
+				// Probe non-essential terms, highest bound first, dropping
+				// each term's bound from the residual as it resolves.
+				remaining := tailDot[nEss]
+				survived := true
+				for i := nEss; i < len(cur); i++ {
+					c := &cur[i]
+					remaining -= c.ubDot
+					if w, ok := c.seek(minDoc); ok {
+						contrib[c.qi] = w
+						present = append(present, c.qi)
+						essDot += c.qw * w
+					}
+					b = (essDot + remaining) * inv * boundSlack
+					if cannotQualify(b) {
+						survived = false
+						break
+					}
+				}
+				if survived {
+					// Exact score: re-sum in ascending term-ID order — the
+					// exhaustive path's accumulation order — then divide
+					// once, reproducing its rounding bit for bit. Absent
+					// terms contribute an exact +0.
+					var dot float64
+					for i := range qts {
+						dot += qts[i].w * contrib[i]
+					}
+					score := dot / (qn * dn)
+					if score >= opts.Threshold && score > 0 {
+						if heap.Offer(Hit{minDoc, score}) {
+							shrink()
+						}
+					}
+				}
+			}
+		}
+		for _, qi := range present {
+			contrib[qi] = 0
+		}
+		present = present[:0]
+	}
+	hits := heap.Items()
+	sortHits(hits)
+	return hits, ctx.Err()
+}

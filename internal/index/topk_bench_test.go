@@ -1,0 +1,67 @@
+package index
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"ctxsearch/internal/bitset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/vector"
+)
+
+// The top-k benchmarks behind BENCH_PR5.json run on a corpus an order of
+// magnitude above the other index benchmarks, with a context-style bitset
+// restriction over half of it — the "top-10 query over a large context"
+// shape the MaxScore path exists for.
+var (
+	topkBenchOnce sync.Once
+	topkBenchIx   *Index
+	topkBenchSet  bitset.Set
+	topkBenchQV   vector.Sparse
+)
+
+func topkBenchIndex(b *testing.B) (*Index, bitset.Set, vector.Sparse) {
+	b.Helper()
+	topkBenchOnce.Do(func() {
+		o, err := ontology.Generate(ontology.GenConfig{Seed: 7, NumTerms: 120, MaxDepth: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := corpus.Generate(o, corpus.DefaultGenConfig(2000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		topkBenchIx = Build(corpus.NewAnalyzer(c))
+		for d := 0; d < c.Len(); d += 2 {
+			topkBenchSet.Add(d)
+		}
+		topkBenchQV = topkBenchIx.Analyzer().QueryVector(
+			"regulation of rna transcription factor binding activity")
+	})
+	return topkBenchIx, topkBenchSet, topkBenchQV
+}
+
+func benchmarkSearchVectorContextTopK(b *testing.B, limit int) {
+	ix, set, qv := topkBenchIndex(b)
+	opts := Options{Limit: limit, WithinSet: set}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hits, err := ix.SearchVectorContext(ctx, qv, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+// Exhaustive = the Limit-0 path: score and sort every matching document
+// in the context, the pre-MaxScore behaviour at any page size.
+func BenchmarkSearchVectorContextTopKExhaustive(b *testing.B) { benchmarkSearchVectorContextTopK(b, 0) }
+func BenchmarkSearchVectorContextTopK10(b *testing.B)         { benchmarkSearchVectorContextTopK(b, 10) }
+func BenchmarkSearchVectorContextTopK100(b *testing.B)        { benchmarkSearchVectorContextTopK(b, 100) }

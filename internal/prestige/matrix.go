@@ -28,6 +28,11 @@ type Matrix struct {
 	offsets []int32 // len(ctxs)+1; run i is [offsets[i], offsets[i+1])
 	docs    []int32
 	vals    []float64
+	// rowMax[i] is the largest score in run i (0 for an empty run) — the
+	// per-context prestige upper bound the search layer's top-k pruning
+	// reads. Persisted in the v3 state format; recomputed when loading
+	// older files.
+	rowMax []float64
 }
 
 // Freeze flattens the map form into its CSR matrix. The layout is fully
@@ -46,6 +51,7 @@ func (s Scores) Freeze() *Matrix {
 	}
 	m.docs = make([]int32, 0, nnz)
 	m.vals = make([]float64, 0, nnz)
+	m.rowMax = make([]float64, len(ctxs))
 	var row []int32
 	for i, ctx := range ctxs {
 		m.ord[ctx] = int32(i)
@@ -56,8 +62,12 @@ func (s Scores) Freeze() *Matrix {
 		}
 		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
 		for _, id := range row {
+			v := src[corpus.PaperID(id)]
 			m.docs = append(m.docs, id)
-			m.vals = append(m.vals, src[corpus.PaperID(id)])
+			m.vals = append(m.vals, v)
+			if v > m.rowMax[i] {
+				m.rowMax[i] = v
+			}
 		}
 		m.offsets[i+1] = int32(len(m.docs))
 	}
@@ -82,10 +92,12 @@ func (m *Matrix) Ordinal(ctx ontology.TermID) (int, bool) {
 }
 
 // Run is one context's packed score row: Docs ascending, Vals parallel.
-// The slices alias the matrix — read-only.
+// The slices alias the matrix — read-only. Max is the largest value in
+// Vals (0 for an empty run), the row's prestige upper bound.
 type Run struct {
 	Docs []int32
 	Vals []float64
+	Max  float64
 }
 
 // Get returns the score of a paper in the run (0 when absent) by binary
@@ -119,7 +131,7 @@ func (m *Matrix) Run(ctx ontology.TermID) Run {
 // RunAt returns the score row of the i-th context (Ordinal order).
 func (m *Matrix) RunAt(i int) Run {
 	lo, hi := m.offsets[i], m.offsets[i+1]
-	return Run{Docs: m.docs[lo:hi], Vals: m.vals[lo:hi]}
+	return Run{Docs: m.docs[lo:hi], Vals: m.vals[lo:hi], Max: m.rowMax[i]}
 }
 
 // Get returns the score of a paper in a context (0 when absent), matching
@@ -143,16 +155,22 @@ func (m *Matrix) Thaw() Scores {
 	return out
 }
 
-// matrixWire is the gob shape of a Matrix: the four flat arrays, with each
+// matrixWire is the gob shape of a Matrix: the flat CSR arrays, with each
 // run's doc IDs delta-encoded (first absolute, then gaps). Runs are sorted
 // ascending, so the gaps are small non-negative varints — this is where the
-// v2 state file beats the nested map form on size, whose keys repeat full
+// v2+ state file beats the nested map form on size, whose keys repeat full
 // paper IDs. The ordinal interning table is rebuilt on decode.
+//
+// RowMax (per-run score maxima, the top-k pruning bounds) joined the wire
+// in the v3 state format. Gob matches fields by name, so v2 streams simply
+// decode with RowMax empty and the maxima are recomputed — the v2 fallback
+// costs one pass over Vals.
 type matrixWire struct {
 	Ctxs    []ontology.TermID
 	Offsets []int32
 	Docs    []int32 // per-run delta-encoded
 	Vals    []float64
+	RowMax  []float64
 }
 
 // GobEncode implements gob.GobEncoder with the flat CSR arrays — smaller
@@ -169,7 +187,7 @@ func (m *Matrix) GobEncode() ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(matrixWire{
-		Ctxs: m.ctxs, Offsets: m.offsets, Docs: docs, Vals: m.vals,
+		Ctxs: m.ctxs, Offsets: m.offsets, Docs: docs, Vals: m.vals, RowMax: m.rowMax,
 	})
 	return buf.Bytes(), err
 }
@@ -199,7 +217,19 @@ func (m *Matrix) GobDecode(data []byte) error {
 			w.Docs[k] = prev
 		}
 	}
-	m.ctxs, m.offsets, m.docs, m.vals = w.Ctxs, w.Offsets, w.Docs, w.Vals
+	// Row maxima: trust a well-formed v3 stream, recompute otherwise (v2
+	// streams lack the field; a corrupt length is repaired the same way).
+	if len(w.RowMax) != len(w.Ctxs) {
+		w.RowMax = make([]float64, len(w.Ctxs))
+		for i := 0; i < len(w.Ctxs); i++ {
+			for k := w.Offsets[i]; k < w.Offsets[i+1]; k++ {
+				if v := w.Vals[k]; v > w.RowMax[i] {
+					w.RowMax[i] = v
+				}
+			}
+		}
+	}
+	m.ctxs, m.offsets, m.docs, m.vals, m.rowMax = w.Ctxs, w.Offsets, w.Docs, w.Vals, w.RowMax
 	m.ord = make(map[ontology.TermID]int32, len(w.Ctxs))
 	for i, ctx := range w.Ctxs {
 		m.ord[ctx] = int32(i)

@@ -83,6 +83,26 @@ func BenchmarkEngineSearch1(b *testing.B) { benchmarkEngineSearch(b, 1) }
 func BenchmarkEngineSearch4(b *testing.B) { benchmarkEngineSearch(b, 4) }
 func BenchmarkEngineSearch8(b *testing.B) { benchmarkEngineSearch(b, 8) }
 
+// benchmarkEngineSearchTopK measures the bounded-selection merge: the
+// same 8-context query as BenchmarkEngineSearch8, but asking for one
+// page instead of the full ranked list. The exhaustive baseline for
+// BENCH_PR5.json is BenchmarkEngineSearch8 (Limit 0).
+func benchmarkEngineSearchTopK(b *testing.B, limit int) {
+	e := benchEngine(b)
+	opts := benchOpts(b, e, 8)
+	opts.Limit = limit
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(e.Search(benchQuery, opts)) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkEngineSearchTop10(b *testing.B)  { benchmarkEngineSearchTopK(b, 10) }
+func BenchmarkEngineSearchTop100(b *testing.B) { benchmarkEngineSearchTopK(b, 100) }
+
 func BenchmarkEngineSearchBoolean(b *testing.B) {
 	e := benchEngine(b)
 	opts := benchOpts(b, e, 4)

@@ -74,9 +74,10 @@ func TestSearchOffsetPagination(t *testing.T) {
 	if len(page2) == 0 || page2[0].Doc != all[2].Doc {
 		t.Fatalf("offset pagination broken: %v vs %v", page2, all[2])
 	}
-	// Offset beyond the result set returns nothing.
-	if got := f.engine.Search(name, Options{Offset: len(all) + 5}); got != nil {
-		t.Fatalf("oversized offset returned %v", got)
+	// Offset beyond the result set returns an empty page — non-nil, so
+	// the API layer encodes a valid empty page rather than null.
+	if got := f.engine.Search(name, Options{Offset: len(all) + 5}); got == nil || len(got) != 0 {
+		t.Fatalf("oversized offset returned %v, want empty non-nil page", got)
 	}
 }
 

@@ -46,7 +46,7 @@ func goldenOptions() []Options {
 		{Threshold: 0.1, MaxContexts: 6, MinContextMatch: 0.05},
 		{Limit: 5},
 		{Offset: 3, Limit: 4, MaxContexts: 8, MinContextMatch: 0.01},
-		{Offset: 1000}, // past the end: both paths must return nil
+		{Offset: 1000}, // past the end: both paths must return an empty page
 		{ExpandContexts: true, MinExpandSim: 0.3, MaxContexts: 8, MinContextMatch: 0.01},
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/topk"
 )
 
 // parallelMergeThreshold is the ctxs×hits work size below which per-context
@@ -43,6 +44,11 @@ var parallelMergeThreshold = 4096
 // It is a fault-injection point for the cancellation tests (simulated slow
 // scoring); production code never sets it.
 var scoreRowHook func()
+
+// topkChunk is the minimum hit-window size of the bounded top-k merge.
+// A variable so tests can shrink it and exercise multi-window runs (and
+// the early-termination break) on small fixtures.
+var topkChunk = 256
 
 // Weights combine prestige and text-matching into the relevancy score.
 type Weights struct {
@@ -339,7 +345,8 @@ func (e *Engine) SearchContext(ctx context.Context, query string, opts Options) 
 		return nil, nil
 	}
 	qv := e.ix.Analyzer().QueryVector(query)
-	hits, err := e.ix.SearchVectorContext(ctx, qv, index.Options{WithinSet: e.unionBitset(ctxs)})
+	iopts := index.Options{WithinSet: e.unionBitset(ctxs), Threshold: e.indexThreshold(ctxs, opts)}
+	hits, err := e.ix.SearchVectorContext(ctx, qv, iopts)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +382,8 @@ func (e *Engine) SearchBooleanContext(ctx context.Context, query string, opts Op
 	if len(ctxs) == 0 {
 		return nil, nil
 	}
-	hits, err := e.ix.SearchQueryContext(ctx, q, index.Options{WithinSet: e.unionBitset(ctxs)})
+	iopts := index.Options{WithinSet: e.unionBitset(ctxs), Threshold: e.indexThreshold(ctxs, opts)}
+	hits, err := e.ix.SearchQueryContext(ctx, q, iopts)
 	if err != nil {
 		return nil, err
 	}
@@ -386,26 +394,100 @@ func (e *Engine) SearchBooleanContext(ctx context.Context, query string, opts Op
 	return paginate(merged, opts), nil
 }
 
-// mergeHits turns one union-pass hit list into ranked results: for every
-// hit, the relevancy R(p, q, ci) is computed in every selected context
-// containing the paper, and the maximising context wins (first in
-// selection order on ties, matching the naive per-context loop). The
-// per-context partials are computed by a worker pool; the merge visits
-// contexts in selection order, so the output is deterministic and
-// independent of worker scheduling.
-//
-// Cancellation: workers check ctx between context merges (skipping rows
-// once it fires) and the feeder stops handing out work, so the pool drains
-// promptly with no goroutine leaks; the final merge loop also checks
-// periodically. A cancelled call returns (nil, ctx.Err()).
-func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []index.Hit, opts Options) ([]Result, error) {
-	if len(hits) == 0 {
-		return nil, ctx.Err()
+// prestigeBound returns the largest effective prestige any paper can
+// attain in the selected contexts: the maximum over contexts of the
+// prestige row maximum times the context weight. Multiplication by a
+// non-negative weight is monotone in IEEE arithmetic, so every stored
+// score obeys the bound exactly — the pruning built on it needs no
+// epsilon.
+func (e *Engine) prestigeBound(ctxs []ContextScore) float64 {
+	var bound float64
+	for _, c := range ctxs {
+		w := 1.0
+		if e.weights.ContextWeighted {
+			w = c.Score
+		}
+		if b := e.matrix.Run(c.Context).Max * w; b > bound {
+			bound = b
+		}
 	}
+	return bound
+}
+
+// indexThreshold derives a cosine-score floor for the index pass from the
+// relevancy threshold: a merged result needs w_p·prestige + w_m·match ≥
+// Threshold, and prestige never exceeds prestigeBound, so hits matching
+// below (Threshold − w_p·bound)/w_m can never survive the merge. The
+// division makes the algebra inexact, so the floor is deflated (1e-9
+// relative and 1e-12 absolute) and then verified against the monotone
+// bound expression the merge actually obeys; when even the deflated floor
+// can't be proven safe, the filter is skipped — correctness never depends
+// on it.
+func (e *Engine) indexThreshold(ctxs []ContextScore, opts Options) float64 {
+	w := e.weights
+	if opts.Threshold <= 0 || w.Matching <= 0 || w.Prestige < 0 {
+		return 0
+	}
+	bound := w.Prestige * e.prestigeBound(ctxs)
+	t := (opts.Threshold-bound)/w.Matching*(1-1e-9) - 1e-12
+	if t <= 0 {
+		return 0
+	}
+	// Every dropped hit has match < t, and relevancy ≤ bound + w_m·match ≤
+	// bound + w_m·t by float monotonicity; require that to sit strictly
+	// under the threshold the merge loop compares against.
+	if bound+w.Matching*t >= opts.Threshold {
+		return 0
+	}
+	return t
+}
+
+// worseResult is the bounded-merge heap order: a is worse than b when it
+// ranks later under sortResults (lower relevancy, ties by higher doc ID).
+// Documents are unique within a result list, so this is a strict total
+// order and the selected top k equal the full sort's prefix exactly.
+func worseResult(a, b Result) bool {
+	return a.Relevancy < b.Relevancy || (a.Relevancy == b.Relevancy && a.Doc > b.Doc)
+}
+
+// merger carries the scratch state shared by the exhaustive and bounded
+// merge paths: the pooled arena, the per-context membership bitsets, and
+// the partial-score rows of the current hit window.
+type merger struct {
+	e      *Engine
+	ctxs   []ContextScore
+	member []bitset.Set
+	ms     *mergeScratch
+	// partial[i][j] is the effective prestige of the current window's
+	// j-th hit in ctxs[i], -1 when the paper is outside the context.
+	// Workers write disjoint rows (slices of the arena slab).
+	partial [][]float64
+}
+
+func (e *Engine) newMerger(ctxs []ContextScore) *merger {
 	ms, _ := e.mergePool.Get().(*mergeScratch)
 	if ms == nil {
 		ms = &mergeScratch{}
 	}
+	member := make([]bitset.Set, len(ctxs))
+	for i, c := range ctxs {
+		member[i] = e.cs.PaperBitset(c.Context)
+	}
+	return &merger{e: e, ctxs: ctxs, member: member, ms: ms, partial: make([][]float64, len(ctxs))}
+}
+
+func (m *merger) close() { m.e.mergePool.Put(m.ms) }
+
+// score fills m.partial for one window of hits, fanning the per-context
+// rows over a worker pool when the window is large enough (mirrors
+// prestige.ScoreAllParallel).
+//
+// Cancellation: workers check ctx between context rows (skipping rows
+// once it fires) and the feeder stops handing out work, so the pool
+// drains promptly with no goroutine leaks. A cancelled call returns
+// ctx.Err() with the scratch state already reset.
+func (m *merger) score(ctx context.Context, hits []index.Hit) error {
+	e, ms := m.e, m.ms
 	maxDoc := 0
 	for _, h := range hits {
 		if int(h.Doc) > maxDoc {
@@ -418,36 +500,28 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 	for j, h := range hits {
 		ms.hitOf[h.Doc] = int32(j + 1)
 	}
-	need := len(ctxs) * len(hits)
+	// Sparse reset before returning: only the table entries this window
+	// touched. The partial rows stay valid for the caller's merge loop.
+	defer func() {
+		for _, h := range hits {
+			ms.hitOf[h.Doc] = 0
+		}
+	}()
+	need := len(m.ctxs) * len(hits)
 	if cap(ms.rows) < need {
 		ms.rows = make([]float64, need)
 	}
 	rows := ms.rows[:need]
-	defer func() {
-		// Sparse reset: only the table entries this merge touched.
-		for _, h := range hits {
-			ms.hitOf[h.Doc] = 0
-		}
-		e.mergePool.Put(ms)
-	}()
-	// partial[i][j] is the effective prestige of hits[j] in ctxs[i], -1
-	// when the paper is outside the context. Workers write disjoint rows
-	// (slices of the shared slab).
-	partial := make([][]float64, len(ctxs))
-	for i := range partial {
-		partial[i] = rows[i*len(hits) : (i+1)*len(hits)]
-	}
-	member := make([]bitset.Set, len(ctxs))
-	for i, c := range ctxs {
-		member[i] = e.cs.PaperBitset(c.Context)
+	for i := range m.partial {
+		m.partial[i] = rows[i*len(hits) : (i+1)*len(hits)]
 	}
 	scoreCtx := func(i int) {
 		if h := scoreRowHook; h != nil {
 			h()
 		}
-		row := partial[i]
-		c := ctxs[i]
-		mb := member[i]
+		row := m.partial[i]
+		c := m.ctxs[i]
+		mb := m.member[i]
 		run := e.matrix.Run(c.Context)
 		w := 1.0
 		if e.weights.ContextWeighted {
@@ -483,56 +557,120 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 			}
 		}
 	}
-	// Fan per-context scoring over a worker pool (mirrors
-	// prestige.ScoreAllParallel); a single context or tiny hit list is not
-	// worth the goroutine overhead.
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ctxs) {
-		workers = len(ctxs)
+	if workers > len(m.ctxs) {
+		workers = len(m.ctxs)
 	}
-	if workers <= 1 || len(ctxs)*len(hits) < parallelMergeThreshold {
-		for i := range ctxs {
+	if workers <= 1 || len(m.ctxs)*len(hits) < parallelMergeThreshold {
+		for i := range m.ctxs {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			scoreCtx(i)
 		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		done := ctx.Done()
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					// Check between context merges; keep receiving so the
-					// feeder never blocks on a dead pool.
-					if ctx.Err() != nil {
-						continue
-					}
-					scoreCtx(i)
+		return nil
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// Check between context rows; keep receiving so the
+				// feeder never blocks on a dead pool.
+				if ctx.Err() != nil {
+					continue
 				}
-			}()
-		}
-	feed:
-		for i := range ctxs {
-			select {
-			case work <- i:
-			case <-done:
-				break feed
+				scoreCtx(i)
 			}
-		}
-		close(work)
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		}()
+	}
+feed:
+	for i := range m.ctxs {
+		select {
+		case work <- i:
+		case <-done:
+			break feed
 		}
 	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
+}
 
-	// Deterministic merge in context selection order: per paper, the
-	// maximising context wins, first context on ties — exactly the update
-	// order of the naive sequential loop.
+// mergeRow resolves one hit of the current window against every selected
+// context: the maximising context wins (first in selection order on ties,
+// matching the naive per-context loop), and hits whose best relevancy
+// falls under the threshold report ok=false.
+func (m *merger) mergeRow(j int, h index.Hit, opts Options) (Result, bool) {
+	e := m.e
+	bestI := -1
+	var bestR float64
+	for i := range m.ctxs {
+		p := m.partial[i][j]
+		if p < 0 {
+			continue // not a member (prestige itself is ≥ 0)
+		}
+		r := e.weights.Prestige*p + e.weights.Matching*h.Score
+		if r < opts.Threshold {
+			continue
+		}
+		if bestI < 0 || r > bestR {
+			bestI, bestR = i, r
+		}
+	}
+	if bestI < 0 {
+		return Result{}, false
+	}
+	return Result{
+		Doc:       h.Doc,
+		Relevancy: bestR,
+		Match:     h.Score,
+		Prestige:  m.partial[bestI][j],
+		Context:   m.ctxs[bestI].Context,
+	}, true
+}
+
+// boundedK returns the selection size offset+limit when the bounded
+// top-k merge applies, and 0 when the exhaustive merge must run: no
+// limit was requested, the page covers the whole hit list anyway, or a
+// negative weight breaks the upper-bound algebra the pruning rests on.
+func (e *Engine) boundedK(opts Options, nhits int) int {
+	if opts.Limit <= 0 || opts.Offset < 0 || e.weights.Prestige < 0 || e.weights.Matching < 0 {
+		return 0
+	}
+	k := opts.Offset + opts.Limit
+	if k >= nhits {
+		return 0
+	}
+	return k
+}
+
+// mergeHits turns one union-pass hit list into ranked results: for every
+// hit, the relevancy R(p, q, ci) is computed in every selected context
+// containing the paper, and the maximising context wins. The merge visits
+// contexts in selection order, so the output is deterministic and
+// independent of worker scheduling.
+//
+// When the caller asked for a page (Limit > 0), the bounded path keeps
+// only the offset+limit best results in a selection heap and prunes with
+// the per-query prestige bound; otherwise every surviving hit is ranked.
+// Both paths return results in sortResults order, byte-identical to the
+// naive reference for the requested page (the golden tests pin this).
+func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []index.Hit, opts Options) ([]Result, error) {
+	if len(hits) == 0 {
+		return nil, ctx.Err()
+	}
+	m := e.newMerger(ctxs)
+	defer m.close()
+	if k := e.boundedK(opts, len(hits)); k > 0 {
+		return m.mergeTopK(ctx, hits, opts, k)
+	}
+	if err := m.score(ctx, hits); err != nil {
+		return nil, err
+	}
 	out := make([]Result, 0, len(hits))
 	for j, h := range hits {
 		if j&4095 == 0 {
@@ -540,32 +678,58 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 				return nil, err
 			}
 		}
-		bestI := -1
-		var bestR float64
-		for i := range ctxs {
-			p := partial[i][j]
-			if p < 0 {
-				continue // not a member (prestige itself is ≥ 0)
-			}
-			r := e.weights.Prestige*p + e.weights.Matching*h.Score
-			if r < opts.Threshold {
-				continue
-			}
-			if bestI < 0 || r > bestR {
-				bestI, bestR = i, r
-			}
+		if res, ok := m.mergeRow(j, h, opts); ok {
+			out = append(out, res)
 		}
-		if bestI < 0 {
-			continue
-		}
-		out = append(out, Result{
-			Doc:       h.Doc,
-			Relevancy: bestR,
-			Match:     h.Score,
-			Prestige:  partial[bestI][j],
-			Context:   ctxs[bestI].Context,
-		})
 	}
+	sortResults(out)
+	return out, nil
+}
+
+// mergeTopK is the bounded merge: hits are processed in windows of
+// descending match score, every surviving result is offered to a
+// k-bounded selection heap, and the loop stops as soon as the window's
+// best attainable relevancy — w_p·prestigeBound + w_m·(window's top match
+// score), an exact upper bound because every operation is monotone in
+// IEEE arithmetic — can no longer beat the heap's k-th result or reach
+// the threshold. Work done is proportional to the page actually served,
+// not the hit count, while the returned page is byte-identical to the
+// exhaustive merge's prefix: scores are computed by the same float
+// expressions, and the heap's (relevancy, doc) order is the total order
+// sortResults uses.
+func (m *merger) mergeTopK(ctx context.Context, hits []index.Hit, opts Options, k int) ([]Result, error) {
+	e := m.e
+	bound := e.weights.Prestige * e.prestigeBound(m.ctxs)
+	heap := topk.New(k, worseResult)
+	chunk := k
+	if chunk < topkChunk {
+		chunk = topkChunk
+	}
+	for lo := 0; lo < len(hits); lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// hits[lo] has the window's (and every later window's) best match
+		// score, so this bound only decreases: break, don't skip.
+		ub := bound + e.weights.Matching*hits[lo].Score
+		if ub < opts.Threshold || (heap.Full() && ub < heap.Min().Relevancy) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(hits) {
+			hi = len(hits)
+		}
+		win := hits[lo:hi]
+		if err := m.score(ctx, win); err != nil {
+			return nil, err
+		}
+		for j, h := range win {
+			if res, ok := m.mergeRow(j, h, opts); ok {
+				heap.Offer(res)
+			}
+		}
+	}
+	out := heap.Items()
 	sortResults(out)
 	return out, nil
 }
@@ -587,11 +751,16 @@ func sortResults(out []Result) {
 	})
 }
 
-// paginate applies Offset/Limit to a ranked result list.
+// paginate applies Offset/Limit to a ranked result list. An offset at or
+// past the end returns an empty, non-nil slice: "a valid page past the
+// last result" is distinct from "the query produced nothing" (nil), and
+// the server encodes the former as [] rather than null. A limit larger
+// than the remaining results returns just the remainder — never an
+// over-slice.
 func paginate(out []Result, opts Options) []Result {
 	if opts.Offset > 0 {
 		if opts.Offset >= len(out) {
-			return nil
+			return []Result{}
 		}
 		out = out[opts.Offset:]
 	}

@@ -1,0 +1,200 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ctxsearch/internal/corpus"
+)
+
+// TestPaginate pins the page-slicing contract: an offset at or past the
+// end is an empty non-nil page, a limit past the remainder returns just
+// the remainder, and in-range pages slice exactly.
+func TestPaginate(t *testing.T) {
+	results := func(n int) []Result {
+		out := make([]Result, n)
+		for i := range out {
+			out[i] = Result{Doc: corpus.PaperID(i)}
+		}
+		return out
+	}
+	tests := []struct {
+		name    string
+		in      []Result
+		opts    Options
+		want    []corpus.PaperID
+		nonNil  bool
+		aliases bool // page must alias the input (no copy on the hot path)
+	}{
+		{name: "no paging", in: results(3), opts: Options{}, want: []corpus.PaperID{0, 1, 2}, aliases: true},
+		{name: "limit only", in: results(5), opts: Options{Limit: 2}, want: []corpus.PaperID{0, 1}, aliases: true},
+		{name: "offset only", in: results(4), opts: Options{Offset: 1}, want: []corpus.PaperID{1, 2, 3}, aliases: true},
+		{name: "offset and limit", in: results(6), opts: Options{Offset: 2, Limit: 2}, want: []corpus.PaperID{2, 3}, aliases: true},
+		{name: "limit past remainder", in: results(4), opts: Options{Offset: 2, Limit: 100}, want: []corpus.PaperID{2, 3}, aliases: true},
+		{name: "limit exceeds all", in: results(3), opts: Options{Limit: 100}, want: []corpus.PaperID{0, 1, 2}, aliases: true},
+		{name: "offset equals length", in: results(3), opts: Options{Offset: 3}, want: nil, nonNil: true},
+		{name: "offset past length", in: results(3), opts: Options{Offset: 7, Limit: 5}, want: nil, nonNil: true},
+		{name: "offset past empty", in: results(0), opts: Options{Offset: 1}, want: nil, nonNil: true},
+		{name: "empty no paging", in: results(0), opts: Options{}, want: nil},
+	}
+	for _, tc := range tests {
+		got := paginate(tc.in, tc.opts)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %d results, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i, d := range tc.want {
+			if got[i].Doc != d {
+				t.Fatalf("%s: result %d = doc %d, want %d", tc.name, i, got[i].Doc, d)
+			}
+		}
+		if tc.nonNil && got == nil {
+			t.Fatalf("%s: page is nil, want empty non-nil", tc.name)
+		}
+		if tc.aliases && len(got) > 0 && &got[0] != &tc.in[tc.opts.Offset] {
+			t.Fatalf("%s: page copied instead of sliced", tc.name)
+		}
+	}
+}
+
+// TestSearchTopKGoldenEquality asserts the bounded top-k merge returns
+// byte-identical pages to the naive per-context reference across
+// randomized (limit, offset, threshold, context-count) combinations. The
+// window size is shrunk so small fixtures run many windows and exercise
+// the early-termination break, and the trials hit both the serial and
+// pooled scoring paths.
+func TestSearchTopKGoldenEquality(t *testing.T) {
+	f := buildFixture(t)
+	oldChunk := topkChunk
+	topkChunk = 4
+	t.Cleanup(func() { topkChunk = oldChunk })
+
+	queries := goldenQueries(f)
+	rng := rand.New(rand.NewSource(42))
+	for qi, q := range queries {
+		for trial := 0; trial < 12; trial++ {
+			opts := Options{
+				Limit:           1 + rng.Intn(20),
+				MaxContexts:     1 + rng.Intn(8),
+				MinContextMatch: 0.01,
+			}
+			if rng.Intn(2) == 0 {
+				opts.Offset = rng.Intn(15)
+			}
+			if rng.Intn(3) == 0 {
+				opts.Threshold = rng.Float64() * 0.4
+			}
+			label := fmt.Sprintf("query %d %q trial %d opts %+v", qi, q, trial, opts)
+			diffResults(t, label, f.engine.Search(q, opts), f.engine.searchNaive(q, opts))
+		}
+	}
+}
+
+// TestSearchTopKPooledGoldenEquality repeats a slice of the bounded-merge
+// battery with the worker pool forced on, so the windowed scoring runs
+// through the parallel path too.
+func TestSearchTopKPooledGoldenEquality(t *testing.T) {
+	f := buildFixture(t)
+	oldChunk, oldThreshold := topkChunk, parallelMergeThreshold
+	topkChunk, parallelMergeThreshold = 4, 0
+	t.Cleanup(func() { topkChunk, parallelMergeThreshold = oldChunk, oldThreshold })
+
+	rng := rand.New(rand.NewSource(7))
+	for qi, q := range goldenQueries(f) {
+		opts := Options{
+			Limit:       1 + rng.Intn(10),
+			Offset:      rng.Intn(5),
+			MaxContexts: 8, MinContextMatch: 0.01,
+			Threshold: rng.Float64() * 0.2,
+		}
+		label := fmt.Sprintf("pooled query %d %q opts %+v", qi, q, opts)
+		diffResults(t, label, f.engine.Search(q, opts), f.engine.searchNaive(q, opts))
+	}
+}
+
+// TestSearchBooleanTopKGoldenEquality covers the bounded merge on the
+// boolean query path (same hit ordering contract, different index pass).
+func TestSearchBooleanTopKGoldenEquality(t *testing.T) {
+	f := buildFixture(t)
+	oldChunk := topkChunk
+	topkChunk = 4
+	t.Cleanup(func() { topkChunk = oldChunk })
+
+	name, _ := queryForSomeContext(t, f)
+	queries := []string{name, name + " OR transport", "NOT qqqzzz " + name}
+	rng := rand.New(rand.NewSource(3))
+	for qi, q := range queries {
+		for trial := 0; trial < 8; trial++ {
+			opts := Options{
+				Limit:       1 + rng.Intn(12),
+				Offset:      rng.Intn(6),
+				MaxContexts: 1 + rng.Intn(8), MinContextMatch: 0.01,
+				Threshold: rng.Float64() * 0.3,
+			}
+			label := fmt.Sprintf("boolean query %d %q trial %d opts %+v", qi, q, trial, opts)
+			got, gotErr := f.engine.SearchBoolean(q, opts)
+			want, wantErr := f.engine.searchBooleanNaive(q, opts)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: error mismatch: optimized %v, naive %v", label, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			diffResults(t, label, got, want)
+		}
+	}
+}
+
+// TestIndexThresholdSafety pins the derived cosine floor: it must never
+// exceed the relevancy-threshold surface the merge loop enforces (the
+// monotone-bound check), and a zero or unusable configuration must
+// disable the filter entirely.
+func TestIndexThresholdSafety(t *testing.T) {
+	f := buildFixture(t)
+	e := f.engine
+	name, _ := queryForSomeContext(t, f)
+	ctxs := e.SelectContexts(name, Options{MaxContexts: 8, MinContextMatch: 0.01})
+	if len(ctxs) == 0 {
+		t.Fatal("fixture query selected no contexts")
+	}
+	if got := e.indexThreshold(ctxs, Options{}); got != 0 {
+		t.Fatalf("no relevancy threshold must mean no index floor, got %v", got)
+	}
+	bound := e.weights.Prestige * e.prestigeBound(ctxs)
+	for _, th := range []float64{0.01, 0.1, 0.3, 0.5, 0.9} {
+		floor := e.indexThreshold(ctxs, Options{Threshold: th})
+		if floor == 0 {
+			continue // filter declined — always safe
+		}
+		// Any hit dropped by the floor (match < floor) has relevancy at
+		// most bound + w_m·floor; that must sit strictly under th.
+		if bound+e.weights.Matching*floor >= th {
+			t.Fatalf("threshold %v: floor %v can drop hits at the threshold surface", th, floor)
+		}
+	}
+	// Negative weights break the bound algebra: the filter must decline.
+	bad := &Engine{matrix: e.matrix, weights: Weights{Prestige: -0.5, Matching: 0.5}}
+	if got := bad.indexThreshold(ctxs, Options{Threshold: 0.5}); got != 0 {
+		t.Fatalf("negative prestige weight must disable the floor, got %v", got)
+	}
+}
+
+// TestBoundedKGate pins when the bounded merge may run: only for a
+// requested page smaller than the hit list, under non-negative weights.
+func TestBoundedKGate(t *testing.T) {
+	f := buildFixture(t)
+	e := f.engine
+	if k := e.boundedK(Options{Limit: 10, Offset: 5}, 100); k != 15 {
+		t.Fatalf("boundedK = %d, want 15", k)
+	}
+	if k := e.boundedK(Options{}, 100); k != 0 {
+		t.Fatalf("no limit must use the exhaustive merge, got k=%d", k)
+	}
+	if k := e.boundedK(Options{Limit: 50, Offset: 60}, 100); k != 0 {
+		t.Fatalf("page covering the hit list must use the exhaustive merge, got k=%d", k)
+	}
+	bad := &Engine{weights: Weights{Prestige: 0.5, Matching: -0.5}}
+	if k := bad.boundedK(Options{Limit: 10}, 100); k != 0 {
+		t.Fatalf("negative weight must use the exhaustive merge, got k=%d", k)
+	}
+}

@@ -1,0 +1,25 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the diagnostics mux a deployment serves on the
+// separate -debug-addr listener: the full net/http/pprof suite (heap,
+// CPU, goroutine, mutex, trace, …).
+//
+// It is deliberately a distinct handler rather than routes on the API
+// mux: profiling endpoints expose memory contents and can run unbounded
+// CPU captures, so they must never share the public port — the operator
+// binds -debug-addr to localhost or a private interface, and leaving the
+// flag unset serves no profiling at all.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"ctxsearch"
+	"ctxsearch/internal/cache"
 	"ctxsearch/internal/index"
 )
 
@@ -39,13 +40,21 @@ import (
 const (
 	DefaultQueryTimeout = 2 * time.Second
 	DefaultMaxInflight  = 64
+	// DefaultCacheEntries and DefaultCacheTTL size the /search result
+	// cache. The TTL exists for hygiene (the corpus is immutable while an
+	// engine is installed; the cache is also invalidated wholesale on
+	// every engine swap), so it can be generous.
+	DefaultCacheEntries = 1024
+	DefaultCacheTTL     = time.Minute
 )
 
-// Paging caps: /search rejects limit/offset above these with 400 instead of
-// building adversarially large result pages.
+// Paging bounds: a /search without limit serves DefaultLimit results, and
+// requests with limit/offset above the Max caps are rejected with 400
+// instead of building adversarially large result pages.
 const (
-	MaxLimit  = 1000
-	MaxOffset = 100000
+	DefaultLimit = 100
+	MaxLimit     = 1000
+	MaxOffset    = 100000
 )
 
 // Config tunes the serving middleware stack.
@@ -60,6 +69,13 @@ type Config struct {
 	MaxInflight int
 	// Logger receives request and panic logs (nil = discard).
 	Logger *log.Logger
+	// CacheEntries caps the /search result cache (0 = DefaultCacheEntries,
+	// negative = caching disabled).
+	CacheEntries int
+	// CacheTTL expires cached /search responses (0 = DefaultCacheTTL,
+	// negative = no expiry; the cache is invalidated on engine swap
+	// regardless).
+	CacheTTL time.Duration
 }
 
 func (c Config) queryTimeout() time.Duration {
@@ -82,6 +98,26 @@ func (c Config) maxInflight() int {
 	return c.MaxInflight
 }
 
+func (c Config) cacheEntries() int {
+	if c.CacheEntries == 0 {
+		return DefaultCacheEntries
+	}
+	if c.CacheEntries < 0 {
+		return 0
+	}
+	return c.CacheEntries
+}
+
+func (c Config) cacheTTL() time.Duration {
+	if c.CacheTTL == 0 {
+		return DefaultCacheTTL
+	}
+	if c.CacheTTL < 0 {
+		return 0
+	}
+	return c.CacheTTL
+}
+
 // backend bundles the query-serving state; it is swapped in atomically once
 // the engine is built, flipping /readyz to 200. Prestige is held in its
 // frozen CSR matrix form — the same structure the engine's hot path reads.
@@ -101,6 +137,12 @@ type Server struct {
 	handler  http.Handler
 	inflight chan struct{}
 	backend  atomic.Pointer[backend]
+	// cache holds marshalled /search response bodies keyed on (query,
+	// boolean flag, paging options); concurrent identical queries are
+	// coalesced into one engine call (singleflight), and every engine
+	// swap invalidates the whole cache via its generation counter. Nil
+	// when Config disables caching.
+	cache *cache.Cache[[]byte]
 	// testHook, when non-nil, runs inside handleSearch before the engine
 	// call — the fault-injection point the server tests use to simulate
 	// slow queries. Production code never sets it.
@@ -135,6 +177,7 @@ func NewPending(cfg Config) *Server {
 	if n := cfg.maxInflight(); n > 0 {
 		s.inflight = make(chan struct{}, n)
 	}
+	s.cache = cache.New[[]byte](cfg.cacheEntries(), cfg.cacheTTL())
 	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("GET /contexts", s.handleContexts)
 	s.mux.HandleFunc("GET /papers/{id}", s.handlePaper)
@@ -178,6 +221,11 @@ func (s *Server) SetReadyFrozen(sys *ctxsearch.System, cs *ctxsearch.ContextSet,
 		matrix: m,
 		engine: sys.EngineFrozen(cs, m),
 	})
+	// Responses computed by the previous engine are now stale; requests
+	// already in flight may still insert results of the old engine, which
+	// the generation bump also defuses (stale-generation loads are
+	// returned to their caller but never cached).
+	s.cache.Bump()
 }
 
 // Ready reports whether the engine state is installed.
@@ -252,8 +300,7 @@ type SearchResult struct {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	b := s.ready(w)
-	if b == nil {
+	if s.ready(w) == nil {
 		return
 	}
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
@@ -261,7 +308,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
 		return
 	}
-	opts := ctxsearch.SearchOptions{Limit: 20}
+	// A request without limit serves the first DefaultLimit results — an
+	// omitted limit means "a reasonable first page", never "the whole
+	// corpus" (clients wanting more pages page explicitly, up to MaxLimit
+	// per request).
+	opts := ctxsearch.SearchOptions{Limit: DefaultLimit}
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
@@ -295,27 +346,69 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		opts.Threshold = t
 	}
 	ctx := r.Context()
+	boolean := false
+	if v := r.URL.Query().Get("boolean"); v == "1" || v == "true" {
+		boolean = true
+	}
+	// The cache holds fully marshalled bodies, so a hit writes bytes
+	// without touching the engine, the corpus or the JSON encoder.
+	// Concurrent misses for the same key run one engine call; the loader
+	// re-reads the backend pointer so a response computed by a just-
+	// replaced engine can never be cached past the swap's generation bump.
+	body, err := s.cache.Do(searchCacheKey(q, boolean, opts), func() ([]byte, error) {
+		return s.buildSearchResponse(ctx, q, boolean, opts)
+	})
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// searchCacheKey fingerprints everything that determines a /search body:
+// the trimmed query, the boolean flag and the paging/threshold options.
+// strconv formats the float threshold exactly, so distinct options can
+// never collide.
+func searchCacheKey(q string, boolean bool, opts ctxsearch.SearchOptions) string {
+	var b strings.Builder
+	b.Grow(len(q) + 24)
+	b.WriteString(q)
+	b.WriteByte(0)
+	if boolean {
+		b.WriteByte('b')
+	}
+	b.WriteString(strconv.Itoa(opts.Limit))
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(opts.Offset))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatFloat(opts.Threshold, 'g', -1, 64))
+	return b.String()
+}
+
+// buildSearchResponse runs the engine and marshals the response body.
+func (s *Server) buildSearchResponse(ctx context.Context, q string, boolean bool, opts ctxsearch.SearchOptions) ([]byte, error) {
+	b := s.backend.Load() // see handleSearch: must be re-read inside the cache load
 	if s.testHook != nil {
 		s.testHook(ctx)
 	}
 	var results []ctxsearch.SearchResult
 	var err error
-	if v := r.URL.Query().Get("boolean"); v == "1" || v == "true" {
+	if boolean {
 		results, err = b.engine.SearchBooleanContext(ctx, q, opts)
 	} else {
 		results, err = b.engine.SearchContext(ctx, q, opts)
 	}
 	if err != nil {
-		s.writeQueryErr(w, r, err)
-		return
+		return nil, err
 	}
 	resp := SearchResponse{Query: q, Results: []SearchResult{}}
 	for _, res := range results {
 		// Snippet extraction re-reads document text: keep honouring the
 		// deadline while building the response.
 		if err := ctx.Err(); err != nil {
-			s.writeQueryErr(w, r, err)
-			return
+			return nil, err
 		}
 		p := b.sys.Corpus.Paper(res.Doc)
 		resp.Results = append(resp.Results, SearchResult{
@@ -331,7 +424,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			ContextName: b.sys.Ontology.Term(res.Context).Name,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return json.Marshal(resp)
 }
 
 // ContextInfo is one /contexts row.
@@ -439,6 +532,12 @@ type StatsResponse struct {
 	Contexts       int    `json:"contexts"`
 	ScoredContexts int    `json:"scored_contexts"`
 	ContextSetKind string `json:"context_set_kind"`
+	// Result-cache effectiveness counters (all zero when caching is
+	// disabled).
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheCoalesced uint64 `json:"cache_coalesced"`
+	CacheEntries   int    `json:"cache_entries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -446,11 +545,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	cst := s.cache.Stats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Papers:         b.sys.Corpus.Len(),
 		OntologyTerms:  b.sys.Ontology.Len(),
 		Contexts:       len(b.cs.Contexts()),
 		ScoredContexts: b.matrix.NumContexts(),
 		ContextSetKind: b.cs.Kind().String(),
+		CacheHits:      cst.Hits,
+		CacheMisses:    cst.Misses,
+		CacheCoalesced: cst.Coalesced,
+		CacheEntries:   cst.Entries,
 	})
 }

@@ -21,10 +21,15 @@ import (
 
 // version is the current on-disk format. v1 persisted prestige scores as
 // nested maps (term → paper → score); v2 persists the frozen CSR matrices
-// (flat arrays — smaller on disk and far cheaper to decode). Save always
-// writes v2; Load accepts both, freezing v1 maps on the way in.
+// (flat arrays — smaller on disk and far cheaper to decode); v3 keeps the
+// v2 payload shape but the matrices additionally carry their per-context
+// row maxima (the top-k pruning bounds), so a cold start serves pruned
+// queries without a recomputation pass. Save always writes v3; Load
+// accepts all three, freezing v1 maps and recomputing v2 row maxima on
+// the way in.
 const (
-	version   = 2
+	version   = 3
+	versionV2 = 2
 	versionV1 = 1
 )
 
@@ -67,13 +72,16 @@ type payloadV1 struct {
 	Scores   map[string]prestige.Scores
 }
 
-// payloadV2 is the current payload: frozen CSR matrices only.
+// payloadV2 is the payload shape shared by v2 and v3: frozen CSR matrices
+// only. The version in the header records whether the matrices' wire form
+// carries row maxima (v3) or they must be recomputed on decode (v2) — the
+// prestige package handles both transparently.
 type payloadV2 struct {
 	Snapshot *contextset.Snapshot
 	Matrices map[string]*prestige.Matrix
 }
 
-// Save writes the state to w in the current (v2) format. Score functions
+// Save writes the state to w in the current (v3) format. Score functions
 // present only in map form are frozen on the way out; the nested maps
 // themselves are never persisted.
 func Save(w io.Writer, st *State) error {
@@ -140,7 +148,7 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 		for name, s := range p.Scores {
 			st.Matrices[name] = s.Freeze()
 		}
-	case version:
+	case versionV2, version:
 		var p payloadV2
 		if err := dec.Decode(&p); err != nil {
 			return nil, fmt.Errorf("store: decoding payload after header (magic %q, version %d): %s: %w",

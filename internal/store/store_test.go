@@ -125,6 +125,47 @@ func TestLoadV1BackwardCompat(t *testing.T) {
 	}
 }
 
+// saveV2 writes a v2-version header over the shared v2/v3 payload shape —
+// the backward-compat fixture for files written before row maxima joined
+// the matrix wire. (The matrices here still encode maxima, which a real v2
+// writer omitted; the matrix-level no-RowMax fallback is pinned in the
+// prestige package. This test covers the version gate.)
+func saveV2(w io.Writer, st *State) error {
+	mats := make(map[string]*prestige.Matrix, len(st.Scores))
+	for name, s := range st.Scores {
+		mats[name] = s.Freeze()
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: "ctxsearch-state", Version: versionV2}); err != nil {
+		return err
+	}
+	return enc.Encode(payloadV2{Snapshot: st.ContextSet.Snapshot(), Matrices: mats})
+}
+
+func TestLoadV2BackwardCompat(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := saveV2(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, o)
+	if err != nil {
+		t.Fatalf("v2 file must still load: %v", err)
+	}
+	if got.Scores != nil {
+		t.Fatal("v2 load must not populate the map form")
+	}
+	for name, want := range st.Scores {
+		m := got.Matrices[name]
+		if m == nil {
+			t.Fatalf("matrix %q missing from v2 load", name)
+		}
+		if !reflect.DeepEqual(want, m.Thaw()) {
+			t.Fatalf("scores of %q differ after v2 load", name)
+		}
+	}
+}
+
 func TestV2SmallerThanV1(t *testing.T) {
 	_, st := fixture(t)
 	var v1, v2 bytes.Buffer
