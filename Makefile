@@ -4,13 +4,14 @@
 # internal/index pools accumulators across goroutines), over the serving
 # path (middleware stack, graceful shutdown, fault injection), over the
 # arena-reusing offline scoring pipeline (internal/prestige workers hand
-# pooled citegraph scratch buffers between goroutines), and over the
-# sharded offline build (internal/corpus, internal/pattern,
-# internal/contextset fan per-shard construction across workers).
+# pooled citegraph scratch buffers between goroutines), over the sharded
+# offline build (internal/corpus, internal/pattern, internal/contextset fan
+# per-shard construction across workers), and over the sharded serving path
+# (internal/shard's scatter-gather fan-out and the server Coordinator).
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query bench-prestige bench-build bench-topk serve-smoke
+.PHONY: verify build test vet race bench bench-query bench-prestige bench-build bench-topk bench-shard serve-smoke
 
 verify: vet build test race
 
@@ -23,8 +24,10 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Every package: a hand-maintained list would silently miss new concurrent
+# packages (as it briefly did when internal/shard landed).
 race:
-	$(GO) test -race ./internal/search/... ./internal/index/... ./internal/server/... ./internal/prestige/... ./internal/citegraph/... ./internal/corpus/... ./internal/pattern/... ./internal/contextset/... ./internal/par/... ./internal/buildstats/... ./internal/cache/... ./internal/topk/... ./internal/store/... ./cmd/ctxsearch/...
+	$(GO) test -race ./...
 
 # Black-box smoke test of the serve command: boots the real binary, waits
 # for readiness, exercises the HTTP API with curl, and checks that SIGTERM
@@ -58,6 +61,12 @@ bench-topk:
 	$(GO) test -run xxx -bench 'BenchmarkSearchVectorContextTopK' -benchmem ./internal/index/
 	$(GO) test -run xxx -bench 'BenchmarkEngineSearch8|BenchmarkEngineSearchTop' -benchmem ./internal/search/
 	$(GO) test -run xxx -bench 'BenchmarkCacheHit' -benchmem ./internal/cache/
+
+# The sharded-serving benchmarks behind BENCH_PR6.json: the coordinator's
+# page merge throughput and the end-to-end in-process scatter-gather at
+# 1 vs 4 shards.
+bench-shard:
+	$(GO) test -run xxx -bench 'BenchmarkMergePages|BenchmarkGroupSearch' -benchmem ./internal/shard/
 
 # The prestige-pipeline benchmarks behind BENCH_PR3.json: the CSR-matrix
 # query merge, map-vs-matrix lookups, the arena-reusing subgraph+PageRank

@@ -19,7 +19,16 @@
 //	related <term>     ontology terms most similar to the given term
 //	cluster <query>    k-means clustering of keyword results (related work §6)
 //	export <jsonl|gaf> <path>  export the corpus in an interchange format
-//	serve              run the HTTP JSON API (-addr)
+//	serve              run the HTTP JSON API (-addr); with -shards=N the
+//	                   corpus is partitioned into N in-process engine
+//	                   shards behind an exact scatter-gather merge, and
+//	                   with -shard-urls=... the process is a stateless
+//	                   coordinator over remote shard servers instead
+//	shard              run one shard server of a multi-process deployment
+//	                   (-shard-index, -shard-count): the full system is
+//	                   built, but queries run on the shard's paper range
+//	                   and the internal POST /shard/search endpoint serves
+//	                   the coordinator
 //
 // Flags:
 //
@@ -59,6 +68,23 @@
 //	                       (default off; bind to localhost or a private
 //	                       interface — never the public port)
 //
+// Sharding flags (see the README's "Sharded serving" section):
+//
+//	-shards N          serve: partition the corpus into N in-process
+//	                   engine shards (default 1 = single engine; results
+//	                   are byte-identical at any N)
+//	-shard-urls LIST   serve: run as a stateless coordinator over the
+//	                   comma-separated shard base URLs instead of
+//	                   building any engine
+//	-shard-index N     shard: which range this process serves (0-based)
+//	-shard-count N     shard: total number of shard processes
+//	-shard-timeout D   coordinator: per-shard sub-request deadline
+//	                   (default 1s; <=0 disables)
+//	-allow-partial     coordinator: on shard failure serve a degraded
+//	                   page flagged "partial": true instead of a 503
+//	-fanout N          max concurrent shard requests per query
+//	                   (default 0 = all shards at once)
+//
 // serve binds its port immediately and builds the engine in the
 // background: /healthz answers at once, /readyz (and the API) flip from
 // 503 to 200 when the engine is ready, and SIGINT/SIGTERM drain in-flight
@@ -86,6 +112,7 @@ import (
 	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/server"
+	"ctxsearch/internal/shard"
 	"ctxsearch/internal/store"
 )
 
@@ -138,6 +165,13 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", server.DefaultCacheEntries, "serve: /search result-cache capacity (<=0 disables caching)")
 	cacheTTL := fs.Duration("cache-ttl", server.DefaultCacheTTL, "serve: cached /search response lifetime (<=0 = no expiry)")
 	debugAddr := fs.String("debug-addr", "", "serve: /debug/pprof listen address (empty = profiling off; never expose publicly)")
+	shards := fs.Int("shards", 1, "serve: number of in-process engine shards (1 = single engine; results identical at any N)")
+	shardURLs := fs.String("shard-urls", "", "serve: run as a coordinator over these comma-separated shard base URLs")
+	shardIndex := fs.Int("shard-index", 0, "shard: which paper range this process serves (0-based)")
+	shardCount := fs.Int("shard-count", 1, "shard: total number of shard processes")
+	shardTimeout := fs.Duration("shard-timeout", server.DefaultShardTimeout, "coordinator: per-shard sub-request deadline (<=0 disables)")
+	allowPartial := fs.Bool("allow-partial", false, "coordinator: serve degraded pages flagged partial instead of 503 on shard failure")
+	fanout := fs.Int("fanout", 0, "max concurrent shard requests per query (0 = all shards at once)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,8 +187,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	cfg.OntologyTerms = *terms
 	cfg.BuildWorkers = *buildWorkers
 
-	if cmd == "serve" {
-		return serveCmd(ctx, out, serveOpts{
+	if cmd == "serve" || cmd == "shard" {
+		o := serveOpts{
 			cfg:        cfg,
 			corpusPath: *corpusPath, oboPath: *oboPath,
 			setKind: *setKind, scoreFn: *scoreFn, statePath: *statePath,
@@ -163,7 +197,16 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			readTimeout: *httpReadTimeout, writeTimeout: *httpWriteTimeout,
 			idleTimeout: *httpIdleTimeout, shutdownTimeout: *shutdownTimeout,
 			cacheEntries: *cacheEntries, cacheTTL: *cacheTTL,
-		})
+			shards: *shards, shardURLs: *shardURLs,
+			shardTimeout: *shardTimeout, allowPartial: *allowPartial, fanout: *fanout,
+		}
+		if cmd == "shard" {
+			if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
+				return fmt.Errorf("shard: need 0 <= -shard-index < -shard-count, got %d of %d", *shardIndex, *shardCount)
+			}
+			o.shardIndex, o.shardCount = *shardIndex, *shardCount
+		}
+		return serveCmd(ctx, out, o)
 	}
 
 	sys, err := buildSystem(cfg, *corpusPath, *oboPath, cmd == "generate")
@@ -221,7 +264,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	}
 }
 
-// serveOpts carries everything the serve command needs.
+// serveOpts carries everything the serve and shard commands need.
 type serveOpts struct {
 	cfg                                    ctxsearch.Config
 	corpusPath, oboPath, setKind, scoreFn  string
@@ -232,6 +275,15 @@ type serveOpts struct {
 	shutdownTimeout                        time.Duration
 	cacheEntries                           int
 	cacheTTL                               time.Duration
+	// shards > 1 partitions the corpus into in-process engine shards;
+	// shardURLs turns the process into a stateless coordinator; shardCount
+	// > 1 makes it shard shardIndex of a multi-process deployment.
+	shards                 int
+	shardURLs              string
+	shardIndex, shardCount int
+	shardTimeout           time.Duration
+	allowPartial           bool
+	fanout                 int
 }
 
 // serveCmd runs the hardened HTTP server: the port binds immediately with a
@@ -256,13 +308,17 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 	if ct <= 0 {
 		ct = -1 // flag "no expiry" → Config "no TTL"
 	}
-	srv := server.NewPending(server.Config{
+	scfg := server.Config{
 		QueryTimeout: qt,
 		MaxInflight:  mi,
 		CacheEntries: ce,
 		CacheTTL:     ct,
 		Logger:       log.New(os.Stderr, "ctxsearch: ", log.LstdFlags),
-	})
+	}
+	st := o.shardTimeout
+	if st <= 0 {
+		st = -1 // flag "disabled" → ShardConfig "no per-shard deadline"
+	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx, cancel := context.WithCancel(ctx)
@@ -287,6 +343,36 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 			}
 		}()
 	}
+
+	// Coordinator shape: no corpus, no engine — just the fan-out front over
+	// the given shard servers. Ready as soon as the port binds (readiness
+	// aggregates the shards' own readiness).
+	if o.shardURLs != "" {
+		var urls []string
+		for _, u := range strings.Split(o.shardURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return fmt.Errorf("serve: -shard-urls has no URLs")
+		}
+		coord := server.NewCoordinator(urls, scfg, server.ShardConfig{
+			ShardTimeout: st,
+			AllowPartial: o.allowPartial,
+			FanOut:       o.fanout,
+		})
+		fmt.Fprintf(out, "coordinating %d shards\n", len(urls))
+		return server.Run(ctx, o.addr, coord, server.RunConfig{
+			ReadTimeout:     o.readTimeout,
+			WriteTimeout:    o.writeTimeout,
+			IdleTimeout:     o.idleTimeout,
+			ShutdownTimeout: o.shutdownTimeout,
+			OnListen:        func(a net.Addr) { fmt.Fprintf(out, "listening on %s\n", a) },
+		})
+	}
+
+	srv := server.NewPending(scfg)
 	buildErr := make(chan error, 1)
 	go func() {
 		sys, err := buildSystem(o.cfg, o.corpusPath, o.oboPath, false)
@@ -301,8 +387,29 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 			cancel()
 			return
 		}
-		srv.SetReadyFrozen(sys, a.cs, a.matrix)
-		fmt.Fprintln(out, "engine ready")
+		switch {
+		case o.shardCount > 1:
+			// One shard process of a multi-process deployment: full system
+			// (the analyzer's global statistics and the render endpoints
+			// need it) but a range-restricted query engine.
+			eng, r, err := shard.RangeEngine(sys.Analyzer(), a.cs, a.matrix, sys.Config().Relevancy,
+				o.shardIndex, o.shardCount, o.cfg.BuildWorkers)
+			if err != nil {
+				buildErr <- err
+				cancel()
+				return
+			}
+			srv.SetReadySharded(sys, a.cs, a.matrix, eng)
+			fmt.Fprintf(out, "shard %d/%d ready (papers %d-%d)\n", o.shardIndex, o.shardCount, r.Lo, r.Hi-1)
+		case o.shards > 1:
+			g := shard.NewGroup(sys.Analyzer(), a.cs, a.matrix, sys.Config().Relevancy, o.shards,
+				shard.Options{BuildWorkers: o.cfg.BuildWorkers, FanOut: o.fanout})
+			srv.SetReadySharded(sys, a.cs, a.matrix, g)
+			fmt.Fprintf(out, "engine ready (%d in-process shards)\n", g.NumShards())
+		default:
+			srv.SetReadyFrozen(sys, a.cs, a.matrix)
+			fmt.Fprintln(out, "engine ready")
+		}
 		fmt.Fprintln(out, sys.BuildStats().Summary())
 		buildErr <- nil
 	}()

@@ -69,6 +69,8 @@ type (
 	SearchResult = search.Result
 	// SearchOptions configure a search invocation.
 	SearchOptions = search.Options
+	// ContextScore is one selected search context with its match score.
+	ContextScore = search.ContextScore
 	// Hit is one baseline keyword-search result.
 	Hit = index.Hit
 )

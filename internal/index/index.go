@@ -85,14 +85,44 @@ func Build(a *corpus.Analyzer) *Index { return BuildWorkers(a, 0) }
 // sequential build. workers <= 0 selects GOMAXPROCS.
 func BuildWorkers(a *corpus.Analyzer, workers int) *Index {
 	c := a.Corpus()
+	return buildPapers(a, sortedPapers(c, 0, c.Len()), workers)
+}
+
+// BuildRangeWorkers constructs an index over only the papers with
+// lo <= ID < hi — the per-shard index of the sharded serving topology.
+// The analyzer (and with it every TF-IDF weight and document norm) stays
+// corpus-global, so a document's cosine score against any query is bit
+// for bit the score the full index would compute: the range restricts
+// which documents have postings, never how they are weighted. Dense
+// per-document arrays (norms, scoring accumulators) remain sized to the
+// full corpus so global paper IDs index them directly.
+func BuildRangeWorkers(a *corpus.Analyzer, lo, hi int, workers int) *Index {
+	return buildPapers(a, sortedPapers(a.Corpus(), lo, hi), workers)
+}
+
+// sortedPapers returns the corpus's papers with lo <= ID < hi in ascending
+// ID order.
+func sortedPapers(c *corpus.Corpus, lo, hi int) []*corpus.Paper {
+	papers := make([]*corpus.Paper, 0, hi-lo)
+	for _, p := range c.Papers() {
+		if int(p.ID) >= lo && int(p.ID) < hi {
+			papers = append(papers, p)
+		}
+	}
+	sort.Slice(papers, func(i, j int) bool { return papers[i].ID < papers[j].ID })
+	return papers
+}
+
+// buildPapers runs the sharded build pipeline over an explicit paper list
+// (ascending ID order).
+func buildPapers(a *corpus.Analyzer, papers []*corpus.Paper, workers int) *Index {
+	c := a.Corpus()
 	n := c.Len()
 	ix := &Index{
 		analyzer: a,
 		norms:    make([]float64, n),
 	}
 
-	papers := append([]*corpus.Paper(nil), c.Papers()...)
-	sort.Slice(papers, func(i, j int) bool { return papers[i].ID < papers[j].ID })
 	shards := par.Shards(len(papers), workers)
 
 	// Pass 1 (sharded): per-shard term posting counts; norms land in

@@ -68,3 +68,71 @@ func TestParallelBuildSearchEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildRangeWorkersPartition pins the sharding contract: building the
+// index over a paper-ID range keeps the corpus-global term weighting and
+// norms (shards share the analyzer), restricts each posting list to exactly
+// the range's papers, and the union of a disjoint cover's postings
+// reassembles the full index.
+func TestBuildRangeWorkersPartition(t *testing.T) {
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 3, NumTerms: 60, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	full := BuildWorkers(a, 4)
+
+	// Full-range build is the whole index.
+	whole := BuildRangeWorkers(a, 0, c.Len(), 2)
+	if !reflect.DeepEqual(full.termIDs, whole.termIDs) || !reflect.DeepEqual(full.docs, whole.docs) ||
+		!reflect.DeepEqual(full.weights, whole.weights) || !reflect.DeepEqual(full.norms, whole.norms) {
+		t.Fatal("BuildRangeWorkers over the full range differs from BuildWorkers")
+	}
+
+	for _, cuts := range [][]int{{0, 150}, {0, 50, 150}, {0, 40, 90, 150}, {0, 1, 75, 149, 150}} {
+		var parts []*Index
+		for i := 0; i+1 < len(cuts); i++ {
+			parts = append(parts, BuildRangeWorkers(a, cuts[i], cuts[i+1], 2))
+		}
+		for term := range full.termIDs {
+			wantDocs, wantWts := full.termPostings(term)
+			var gotDocs []corpus.PaperID
+			var gotWts []float64
+			for _, p := range parts {
+				d, w := p.termPostings(term)
+				gotDocs = append(gotDocs, d...)
+				gotWts = append(gotWts, w...)
+			}
+			if len(gotDocs) != len(wantDocs) {
+				t.Fatalf("cuts %v term %q: union has %d postings, full %d", cuts, term, len(gotDocs), len(wantDocs))
+			}
+			for k := range wantDocs {
+				if gotDocs[k] != wantDocs[k] || gotWts[k] != wantWts[k] {
+					t.Fatalf("cuts %v term %q posting %d: got (%d,%v), want (%d,%v)",
+						cuts, term, k, gotDocs[k], gotWts[k], wantDocs[k], wantWts[k])
+				}
+			}
+		}
+		// Norm slices stay sized to the full corpus (global paper IDs index
+		// them directly), hold the corpus-global norm for every in-range
+		// paper, and zero elsewhere (out-of-range papers never score).
+		for pi, p := range parts {
+			if len(p.norms) != len(full.norms) {
+				t.Fatalf("cuts %v part %d: norms sized %d, want %d", cuts, pi, len(p.norms), len(full.norms))
+			}
+			for id, norm := range p.norms {
+				if id >= cuts[pi] && id < cuts[pi+1] {
+					if norm != full.norms[id] {
+						t.Fatalf("cuts %v part %d paper %d: norm %v, want %v", cuts, pi, id, norm, full.norms[id])
+					}
+				} else if norm != 0 {
+					t.Fatalf("cuts %v part %d paper %d: out-of-range norm %v", cuts, pi, id, norm)
+				}
+			}
+		}
+	}
+}

@@ -140,6 +140,54 @@ func (m *Matrix) Get(ctx ontology.TermID, p corpus.PaperID) float64 {
 	return m.Run(ctx).Get(p)
 }
 
+// Slice restricts the matrix to papers with lo <= ID < hi — the per-shard
+// prestige state of the sharded serving topology. Every context row is
+// kept (possibly empty), so Contexts() — and therefore the engine's
+// context-selection metadata, which is built from it — is unchanged: all
+// shards select exactly the contexts a single engine would. Within each
+// run only the docs in range survive, and the row maximum is recomputed
+// over the slice, giving the shard a tighter (still exact, for its own
+// papers) prestige upper bound for threshold and top-k pruning.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	out := &Matrix{
+		ctxs:    m.ctxs,
+		ord:     m.ord,
+		offsets: make([]int32, len(m.ctxs)+1),
+		rowMax:  make([]float64, len(m.ctxs)),
+	}
+	dlo, dhi := int32(lo), int32(hi)
+	for i := range m.ctxs {
+		r := m.RunAt(i)
+		// Docs are sorted ascending: binary-search the range bounds.
+		a := searchInt32(r.Docs, dlo)
+		b := searchInt32(r.Docs, dhi)
+		for k := a; k < b; k++ {
+			out.docs = append(out.docs, r.Docs[k])
+			out.vals = append(out.vals, r.Vals[k])
+			if v := r.Vals[k]; v > out.rowMax[i] {
+				out.rowMax[i] = v
+			}
+		}
+		out.offsets[i+1] = int32(len(out.docs))
+	}
+	return out
+}
+
+// searchInt32 returns the first index of s whose value is >= v (len(s)
+// when none is).
+func searchInt32(s []int32, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Thaw reconstructs the map form (for code paths that still build on it,
 // e.g. the naive reference search). Freeze(Thaw(m)) is the identity.
 func (m *Matrix) Thaw() Scores {

@@ -209,3 +209,60 @@ func TestScoreAllParallelArenaStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMatrixSlice pins the sharding contract of the row-sliced matrix: a
+// slice keeps every context row (so shard-side context selection sees the
+// identical context list), holds exactly the cells of papers in [lo, hi)
+// with unchanged values, recomputes row maxima over the restricted rows,
+// and a disjoint cover of slices partitions the full matrix's cells.
+func TestMatrixSlice(t *testing.T) {
+	f := buildFixture(t)
+	scores := ScoreAll(NewTextScorer(f.a, DefaultTextWeights()), f.text, 0)
+	m := scores.Freeze()
+	n := f.c.Len()
+
+	for _, cuts := range [][]int{{0, n}, {0, n / 2, n}, {0, n / 3, 2 * n / 3, n}, {0, 1, n - 1, n}} {
+		nnz := 0
+		for pi := 0; pi+1 < len(cuts); pi++ {
+			lo, hi := cuts[pi], cuts[pi+1]
+			s := m.Slice(lo, hi)
+			if !reflect.DeepEqual(s.ctxs, m.ctxs) {
+				t.Fatalf("cuts %v [%d,%d): sliced context list differs", cuts, lo, hi)
+			}
+			nnz += s.NNZ()
+			for i, ctx := range m.ctxs {
+				fullRun := m.RunAt(i)
+				run := s.RunAt(i)
+				var wantMax float64
+				k := 0
+				for j, doc := range fullRun.Docs {
+					if int(doc) < lo || int(doc) >= hi {
+						continue
+					}
+					if k >= len(run.Docs) || run.Docs[k] != doc || run.Vals[k] != fullRun.Vals[j] {
+						t.Fatalf("cuts %v [%d,%d) ctx %s: cell for paper %d missing or wrong", cuts, lo, hi, ctx, doc)
+					}
+					if fullRun.Vals[j] > wantMax {
+						wantMax = fullRun.Vals[j]
+					}
+					k++
+				}
+				if k != len(run.Docs) {
+					t.Fatalf("cuts %v [%d,%d) ctx %s: %d extra cells", cuts, lo, hi, ctx, len(run.Docs)-k)
+				}
+				if run.Max != wantMax {
+					t.Fatalf("cuts %v [%d,%d) ctx %s: row max %v, want %v", cuts, lo, hi, ctx, run.Max, wantMax)
+				}
+			}
+		}
+		if nnz != m.NNZ() {
+			t.Fatalf("cuts %v: slices hold %d cells, full matrix %d", cuts, nnz, m.NNZ())
+		}
+	}
+
+	// Degenerate empty slice: all rows present, all empty.
+	empty := m.Slice(5, 5)
+	if empty.NNZ() != 0 || empty.NumContexts() != m.NumContexts() {
+		t.Fatalf("empty slice: NNZ=%d contexts=%d, want 0 and %d", empty.NNZ(), empty.NumContexts(), m.NumContexts())
+	}
+}

@@ -56,8 +56,8 @@ func (e *Engine) searchNaive(query string, opts Options) []Result {
 	for _, r := range best {
 		out = append(out, r)
 	}
-	sortResults(out)
-	return paginate(out, opts)
+	SortResults(out)
+	return Paginate(out, opts)
 }
 
 // searchBooleanNaive is the reference implementation of SearchBoolean.
@@ -97,6 +97,6 @@ func (e *Engine) searchBooleanNaive(query string, opts Options) ([]Result, error
 	for _, r := range best {
 		out = append(out, r)
 	}
-	sortResults(out)
-	return paginate(out, opts), nil
+	SortResults(out)
+	return Paginate(out, opts), nil
 }

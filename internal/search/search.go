@@ -354,7 +354,7 @@ func (e *Engine) SearchContext(ctx context.Context, query string, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	return paginate(merged, opts), nil
+	return Paginate(merged, opts), nil
 }
 
 // SearchBoolean runs a context-based search with a boolean query (the
@@ -391,7 +391,7 @@ func (e *Engine) SearchBooleanContext(ctx context.Context, query string, opts Op
 	if err != nil {
 		return nil, err
 	}
-	return paginate(merged, opts), nil
+	return Paginate(merged, opts), nil
 }
 
 // prestigeBound returns the largest effective prestige any paper can
@@ -442,11 +442,11 @@ func (e *Engine) indexThreshold(ctxs []ContextScore, opts Options) float64 {
 	return t
 }
 
-// worseResult is the bounded-merge heap order: a is worse than b when it
-// ranks later under sortResults (lower relevancy, ties by higher doc ID).
+// WorseResult is the bounded-merge heap order: a is worse than b when it
+// ranks later under SortResults (lower relevancy, ties by higher doc ID).
 // Documents are unique within a result list, so this is a strict total
 // order and the selected top k equal the full sort's prefix exactly.
-func worseResult(a, b Result) bool {
+func WorseResult(a, b Result) bool {
 	return a.Relevancy < b.Relevancy || (a.Relevancy == b.Relevancy && a.Doc > b.Doc)
 }
 
@@ -657,7 +657,7 @@ func (e *Engine) boundedK(opts Options, nhits int) int {
 // When the caller asked for a page (Limit > 0), the bounded path keeps
 // only the offset+limit best results in a selection heap and prunes with
 // the per-query prestige bound; otherwise every surviving hit is ranked.
-// Both paths return results in sortResults order, byte-identical to the
+// Both paths return results in SortResults order, byte-identical to the
 // naive reference for the requested page (the golden tests pin this).
 func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []index.Hit, opts Options) ([]Result, error) {
 	if len(hits) == 0 {
@@ -682,7 +682,7 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 			out = append(out, res)
 		}
 	}
-	sortResults(out)
+	SortResults(out)
 	return out, nil
 }
 
@@ -696,11 +696,11 @@ func (e *Engine) mergeHits(ctx context.Context, ctxs []ContextScore, hits []inde
 // not the hit count, while the returned page is byte-identical to the
 // exhaustive merge's prefix: scores are computed by the same float
 // expressions, and the heap's (relevancy, doc) order is the total order
-// sortResults uses.
+// SortResults uses.
 func (m *merger) mergeTopK(ctx context.Context, hits []index.Hit, opts Options, k int) ([]Result, error) {
 	e := m.e
 	bound := e.weights.Prestige * e.prestigeBound(m.ctxs)
-	heap := topk.New(k, worseResult)
+	heap := topk.New(k, WorseResult)
 	chunk := k
 	if chunk < topkChunk {
 		chunk = topkChunk
@@ -730,16 +730,16 @@ func (m *merger) mergeTopK(ctx context.Context, hits []index.Hit, opts Options, 
 		}
 	}
 	out := heap.Items()
-	sortResults(out)
+	SortResults(out)
 	return out, nil
 }
 
-// sortResults orders results by descending relevancy, ties by ascending
+// SortResults orders results by descending relevancy, ties by ascending
 // document ID. The comparator is a total order (documents are unique within
 // a result list), so the unstable sort still yields a deterministic,
 // naive-identical ordering; slices.SortFunc avoids sort.Slice's
 // reflection-based swapper on the query hot path.
-func sortResults(out []Result) {
+func SortResults(out []Result) {
 	slices.SortFunc(out, func(a, b Result) int {
 		if a.Relevancy != b.Relevancy {
 			if a.Relevancy > b.Relevancy {
@@ -751,13 +751,13 @@ func sortResults(out []Result) {
 	})
 }
 
-// paginate applies Offset/Limit to a ranked result list. An offset at or
+// Paginate applies Offset/Limit to a ranked result list. An offset at or
 // past the end returns an empty, non-nil slice: "a valid page past the
 // last result" is distinct from "the query produced nothing" (nil), and
 // the server encodes the former as [] rather than null. A limit larger
 // than the remaining results returns just the remainder — never an
 // over-slice.
-func paginate(out []Result, opts Options) []Result {
+func Paginate(out []Result, opts Options) []Result {
 	if opts.Offset > 0 {
 		if opts.Offset >= len(out) {
 			return []Result{}

@@ -39,7 +39,7 @@ func TestPaginate(t *testing.T) {
 		{name: "empty no paging", in: results(0), opts: Options{}, want: nil},
 	}
 	for _, tc := range tests {
-		got := paginate(tc.in, tc.opts)
+		got := Paginate(tc.in, tc.opts)
 		if len(got) != len(tc.want) {
 			t.Fatalf("%s: got %d results, want %d", tc.name, len(got), len(tc.want))
 		}

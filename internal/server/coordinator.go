@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ctxsearch/internal/cache"
+	"ctxsearch/internal/par"
+	"ctxsearch/internal/shard"
+	"ctxsearch/internal/topk"
+)
+
+// DefaultShardTimeout bounds each shard sub-request of a scatter-gather
+// query. It is deliberately shorter than DefaultQueryTimeout so a slow
+// shard resolves into a 503 (or a flagged partial page) while the client
+// request still has budget to carry the answer.
+const DefaultShardTimeout = time.Second
+
+// ShardConfig tunes the coordinator's fan-out behaviour.
+type ShardConfig struct {
+	// ShardTimeout bounds each per-shard sub-request
+	// (0 = DefaultShardTimeout, negative = no per-shard deadline — the
+	// request deadline still applies).
+	ShardTimeout time.Duration
+	// AllowPartial serves a degraded page flagged "partial": true when some
+	// shards fail, instead of a 503. Client errors (a shard's 400) are
+	// always relayed, never degraded around.
+	AllowPartial bool
+	// FanOut caps concurrent shard sub-requests per query (0 = all shards
+	// at once).
+	FanOut int
+}
+
+func (c ShardConfig) shardTimeout() time.Duration {
+	if c.ShardTimeout == 0 {
+		return DefaultShardTimeout
+	}
+	if c.ShardTimeout < 0 {
+		return 0
+	}
+	return c.ShardTimeout
+}
+
+// Coordinator is the multi-process scatter-gather front: a stateless
+// http.Handler that fans /search out to shard servers' POST /shard/search,
+// merges the rendered pages exactly (the healthy-path body is
+// byte-identical to a single-engine server's), and proxies the per-paper
+// endpoints to the shards round-robin. It holds no corpus state at all —
+// it can boot instantly and restart freely.
+//
+// Failure policy: a shard that answers 400 fails the query with that 400
+// (bad queries are deterministic across shards). A shard that times out,
+// refuses connections or answers 5xx either fails the query with 503
+// (default) or, with ShardConfig.AllowPartial, degrades it into a page
+// flagged "partial": true computed from the healthy shards. Partial pages
+// are never cached, so a recovered shard immediately restores exact
+// answers. Every sub-request is bounded by ShardTimeout — a dead or hung
+// shard can delay a query by at most that, never hang it.
+type Coordinator struct {
+	cfg      Config
+	scfg     ShardConfig
+	logger   *log.Logger
+	urls     []string
+	client   *http.Client
+	handler  http.Handler
+	inflight chan struct{}
+	// cache mirrors the Server's /search body cache. Only exact (all-shard)
+	// responses are inserted; see errPartial.
+	cache   *cache.Cache[[]byte]
+	metrics *shard.Metrics
+	// rr distributes proxied single-shard requests (/contexts,
+	// /papers/{id}, /stats) across shards. Every shard holds the full
+	// corpus-global system state, so any shard answers these exactly.
+	rr atomic.Uint64
+}
+
+// NewCoordinator assembles a coordinator over the given shard base URLs
+// (e.g. "http://127.0.0.1:8101"). The middleware stack matches the
+// single-engine server's: request deadline, load shedding, panic recovery
+// and request logging, with /healthz and /readyz exempt from shedding.
+func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
+	if len(urls) == 0 {
+		panic("server: NewCoordinator needs at least one shard URL")
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		scfg:    scfg,
+		logger:  cfg.Logger,
+		urls:    make([]string, len(urls)),
+		client:  &http.Client{},
+		metrics: shard.NewMetrics(len(urls)),
+	}
+	for i, u := range urls {
+		c.urls[i] = strings.TrimRight(u, "/")
+	}
+	if c.logger == nil {
+		c.logger = log.New(io.Discard, "", 0)
+	}
+	if n := cfg.maxInflight(); n > 0 {
+		c.inflight = make(chan struct{}, n)
+	}
+	c.cache = cache.New[[]byte](cfg.cacheEntries(), cfg.cacheTTL())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", c.handleSearch)
+	mux.HandleFunc("GET /contexts", c.handleProxy)
+	mux.HandleFunc("GET /papers/{id}", c.handleProxy)
+	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+
+	api := withShedding(c.inflight, withTimeout(cfg.queryTimeout(), mux))
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/readyz":
+			mux.ServeHTTP(w, r)
+		default:
+			api.ServeHTTP(w, r)
+		}
+	})
+	c.handler = withLogging(c.logger, withRecovery(c.logger, root))
+	return c
+}
+
+// NumShards returns the number of shard backends.
+func (c *Coordinator) NumShards() int { return len(c.urls) }
+
+// Metrics returns the coordinator's fan-out counters.
+func (c *Coordinator) Metrics() *shard.Metrics { return c.metrics }
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.handler.ServeHTTP(w, r)
+}
+
+// shardCallError is one failed shard sub-request. status is the shard's
+// HTTP status when a response arrived (0 for transport failures); body
+// carries the shard's error payload for relaying client errors.
+type shardCallError struct {
+	shard  int
+	status int
+	body   []byte
+	err    error
+}
+
+func (e *shardCallError) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("shard %d: %v", e.shard, e.err)
+	}
+	return fmt.Sprintf("shard %d: status %d", e.shard, e.status)
+}
+
+func (e *shardCallError) Unwrap() error { return e.err }
+
+// errPartial smuggles a degraded response body through cache.Do, which
+// never caches loads that return an error — exactly the behaviour partial
+// pages need (a recovered shard must not be masked by a cached degraded
+// page).
+type errPartial struct{ body []byte }
+
+func (*errPartial) Error() string { return "partial response" }
+
+// callShard runs one POST /shard/search sub-request under the per-shard
+// deadline and decodes the page.
+func (c *Coordinator) callShard(ctx context.Context, i int, payload []byte) ([]SearchResult, *shardCallError) {
+	if d := c.scfg.shardTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[i]+"/shard/search", bytes.NewReader(payload))
+	if err != nil {
+		return nil, &shardCallError{shard: i, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// client.Do wraps the context error; surface it for the
+		// timeout-vs-error metrics split.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		return nil, &shardCallError{shard: i, err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		return nil, &shardCallError{shard: i, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &shardCallError{shard: i, status: resp.StatusCode, body: body}
+	}
+	var page ShardSearchResponse
+	if err := json.Unmarshal(body, &page); err != nil {
+		return nil, &shardCallError{shard: i, err: fmt.Errorf("bad shard response: %w", err)}
+	}
+	return page.Results, nil
+}
+
+// worseRow orders rendered rows exactly as search.WorseResult orders engine
+// rows (descending relevancy, ties by ascending paper id): relevancy is
+// serialised at full precision, so the JSON round-trip through the shard
+// preserves the engine's total order bit for bit.
+func worseRow(a, b SearchResult) bool {
+	if a.Relevancy != b.Relevancy {
+		return a.Relevancy < b.Relevancy
+	}
+	return a.PaperID > b.PaperID
+}
+
+func sortRows(rows []SearchResult) {
+	sort.Slice(rows, func(i, j int) bool { return worseRow(rows[j], rows[i]) })
+}
+
+func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
+	p, ok := parseSearchParams(w, r)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	body, err := c.cache.Do(searchCacheKey(p.q, p.boolean, p.opts), func() ([]byte, error) {
+		return c.buildSearchResponse(ctx, p)
+	})
+	var pb *errPartial
+	if errors.As(err, &pb) {
+		body, err = pb.body, nil
+	}
+	if err != nil {
+		c.writeShardErr(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// buildSearchResponse fans one query out to every shard and merges. The
+// returned error is either a *shardCallError / pipeline error (request
+// failed) or *errPartial (degraded body that must bypass the cache).
+func (c *Coordinator) buildSearchResponse(ctx context.Context, p searchParams) ([]byte, error) {
+	// The scatter transformation: every shard returns its own top
+	// offset+limit rows; the offset is applied after the merge.
+	// parseSearchParams guarantees limit >= 1.
+	k := p.opts.Offset + p.opts.Limit
+	payload, err := json.Marshal(ShardSearchRequest{
+		Q:         p.q,
+		Boolean:   p.boolean,
+		Limit:     k,
+		Threshold: p.opts.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := len(c.urls)
+	pages := make([][]SearchResult, n)
+	errs := make([]*shardCallError, n)
+	var maxShard shard.AtomicMaxDuration
+	par.For(n, c.scfg.FanOut, func(i int) {
+		t0 := time.Now()
+		pages[i], errs[i] = c.callShard(ctx, i, payload)
+		maxShard.Observe(time.Since(t0))
+		if errs[i] != nil {
+			c.metrics.ObserveShard(i, errs[i])
+		} else {
+			c.metrics.ObserveShard(i, nil)
+		}
+	})
+
+	partial := false
+	healthy := 0
+	for _, e := range errs {
+		switch {
+		case e == nil:
+			healthy++
+		case e.status >= 400 && e.status < 500:
+			// A client error is deterministic across shards (same query,
+			// same analyzer): relay the first one instead of degrading.
+			return nil, e
+		}
+	}
+	if healthy < n {
+		if !c.scfg.AllowPartial || healthy == 0 {
+			for _, e := range errs {
+				if e != nil {
+					return nil, e
+				}
+			}
+		}
+		partial = true
+	}
+
+	t0 := time.Now()
+	heap := topk.New(k, worseRow)
+	for _, page := range pages {
+		for _, row := range page {
+			if heap.Full() && !worseRow(heap.Min(), row) {
+				break // pages are sorted: every later row is worse still
+			}
+			heap.Offer(row)
+		}
+	}
+	merged := heap.Items()
+	sortRows(merged)
+	rows := []SearchResult{}
+	if p.opts.Offset < len(merged) {
+		rows = append(rows, merged[p.opts.Offset:]...)
+	}
+	c.metrics.ObserveSearch(maxShard.Load(), time.Since(t0))
+
+	body, err := json.Marshal(SearchResponse{Query: p.q, Results: rows, Partial: partial})
+	if err != nil {
+		return nil, err
+	}
+	if partial {
+		c.metrics.ObservePartial()
+		return nil, &errPartial{body: body}
+	}
+	return body, nil
+}
+
+// writeShardErr maps a failed scatter-gather to a response: relayed client
+// errors keep the shard's status and body, everything else (timeouts, dead
+// shards, 5xx) is a 503 — the coordinator is healthy, the backend is not.
+func (c *Coordinator) writeShardErr(w http.ResponseWriter, r *http.Request, err error) {
+	var sce *shardCallError
+	if errors.As(err, &sce) {
+		if sce.status >= 400 && sce.status < 500 && json.Valid(sce.body) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(sce.status)
+			_, _ = w.Write(sce.body)
+			return
+		}
+		c.logger.Printf("shard failure on %s %s: %v", r.Method, r.URL.Path, sce)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "shard %d unavailable", sce.shard)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "query deadline exceeded")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		c.logger.Printf("client abandoned %s %s", r.Method, r.URL.Path)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, "shard backend error: %v", err)
+}
+
+// handleProxy forwards a single-shard request (round-robin) and relays the
+// response verbatim. Every shard holds the full corpus, so these endpoints
+// are exact from any one of them.
+func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
+	i := int(c.rr.Add(1)-1) % len(c.urls)
+	status, hdr, body, err := c.fetch(r.Context(), i, r.URL.RequestURI())
+	if err != nil {
+		c.metrics.ObserveShard(i, err)
+		c.writeShardErr(w, r, &shardCallError{shard: i, err: err})
+		return
+	}
+	c.metrics.ObserveShard(i, nil)
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// fetch GETs one shard endpoint under the per-shard deadline.
+func (c *Coordinator) fetch(ctx context.Context, i int, uri string) (int, http.Header, []byte, error) {
+	if d := c.scfg.shardTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urls[i]+uri, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+// handleStats serves corpus statistics from one shard (they are global on
+// every shard) overlaid with the coordinator's own cache and fan-out
+// counters. Any shard can answer, so a failed pick falls through to the
+// next — /stats is exactly the endpoint an operator hits during a shard
+// outage, and the coordinator's own counters must stay reachable as long
+// as one shard is up.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	start := int(c.rr.Add(1)-1) % len(c.urls)
+	var body []byte
+	var lastErr *shardCallError
+	for k := 0; k < len(c.urls); k++ {
+		i := (start + k) % len(c.urls)
+		status, _, b, err := c.fetch(r.Context(), i, "/stats")
+		if err == nil && status == http.StatusOK {
+			c.metrics.ObserveShard(i, nil)
+			body = b
+			break
+		}
+		if err == nil {
+			err = fmt.Errorf("status %d", status)
+		}
+		c.metrics.ObserveShard(i, err)
+		lastErr = &shardCallError{shard: i, status: status, err: err}
+	}
+	if body == nil {
+		c.writeShardErr(w, r, lastErr)
+		return
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		c.writeShardErr(w, r, &shardCallError{err: err})
+		return
+	}
+	cst := c.cache.Stats()
+	resp.CacheHits = cst.Hits
+	resp.CacheMisses = cst.Misses
+	resp.CacheCoalesced = cst.Coalesced
+	resp.CacheEntries = cst.Entries
+	snap := c.metrics.Snapshot()
+	resp.Sharding = &snap
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReadyz reports ready only when every shard's /readyz is ready — a
+// coordinator that cannot answer exactly is not ready.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n := len(c.urls)
+	down := make([]bool, n)
+	par.For(n, c.scfg.FanOut, func(i int) {
+		status, _, _, err := c.fetch(r.Context(), i, "/readyz")
+		down[i] = err != nil || status != http.StatusOK
+	})
+	var notReady []string
+	for i, d := range down {
+		if d {
+			notReady = append(notReady, c.urls[i])
+		}
+	}
+	if len(notReady) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting", "waiting_for": notReady,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -1,0 +1,435 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctxsearch"
+	"ctxsearch/internal/shard"
+)
+
+var cachedMatrix *ctxsearch.Matrix
+
+// frozenMatrix freezes the shared test scores once.
+func frozenMatrix(t *testing.T) (*ctxsearch.System, *ctxsearch.ContextSet, *ctxsearch.Matrix, string) {
+	t.Helper()
+	sys, cs, scores, query := testState(t)
+	if cachedMatrix == nil {
+		cachedMatrix = scores.Freeze()
+	}
+	return sys, cs, cachedMatrix, query
+}
+
+// shardCluster boots n shard servers (each holding the full system but a
+// range-restricted searcher) plus a coordinator in front of them.
+func shardCluster(t *testing.T, n int, scfg ShardConfig) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	sys, cs, m, _ := frozenMatrix(t)
+	g := shard.NewGroup(sys.Analyzer(), cs, m, sys.Config().Relevancy, n, shard.Options{})
+	var backends []*httptest.Server
+	var urls []string
+	for i := 0; i < g.NumShards(); i++ {
+		srv := NewPending(Config{})
+		srv.SetReadySharded(sys, cs, m, g.Engine(i))
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		backends = append(backends, ts)
+		urls = append(urls, ts.URL)
+	}
+	return NewCoordinator(urls, Config{}, scfg), backends
+}
+
+// coordGet serves one request through the coordinator handler.
+func coordGet(t *testing.T, c *Coordinator, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	return rec
+}
+
+// coordQueries builds the query battery from the shared fixture.
+func coordQueries(t *testing.T) []string {
+	t.Helper()
+	sys, _, _, _ := frozenMatrix(t)
+	_, _, scores, _ := testState(t)
+	var names []string
+	for _, ctx := range scores.Contexts() {
+		if term := sys.Ontology.Term(ctx); term != nil {
+			names = append(names, term.Name)
+		}
+		if len(names) >= 6 {
+			break
+		}
+	}
+	queries := append([]string(nil), names...)
+	if len(names) >= 2 {
+		queries = append(queries, names[0]+" "+names[1])
+	}
+	queries = append(queries, "qqqzzz unknown words")
+	return queries
+}
+
+// TestCoordinatorGoldenEquality is the HTTP half of the tentpole guarantee:
+// for several shard counts, the coordinator's /search body is byte-identical
+// to a single-engine server's across randomized paging options, on both the
+// vector and boolean paths.
+func TestCoordinatorGoldenEquality(t *testing.T) {
+	sys, cs, m, _ := frozenMatrix(t)
+	ref := NewPending(Config{})
+	ref.SetReadyFrozen(sys, cs, m)
+	queries := coordQueries(t)
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 3, 5} {
+		coord, _ := shardCluster(t, n, ShardConfig{})
+		for qi, q := range queries {
+			for trial := 0; trial < 4; trial++ {
+				params := "q=" + urlQuery(q) + fmt.Sprintf("&limit=%d", 1+rng.Intn(20))
+				if rng.Intn(2) == 0 {
+					params += fmt.Sprintf("&offset=%d", rng.Intn(15))
+				}
+				if rng.Intn(3) == 0 {
+					params += fmt.Sprintf("&threshold=%.2f", rng.Float64()*0.4)
+				}
+				if rng.Intn(3) == 0 {
+					params += "&boolean=1"
+				}
+				want := get(t, ref, "/search?"+params)
+				got := coordGet(t, coord, "/search?"+params)
+				label := fmt.Sprintf("shards=%d query %d %q trial %d params %s", n, qi, q, trial, params)
+				if got.Code != want.Code {
+					t.Fatalf("%s: coordinator %d, single server %d\n%s", label, got.Code, want.Code, got.Body)
+				}
+				if got.Body.String() != want.Body.String() {
+					t.Fatalf("%s: bodies differ\ncoordinator: %s\nsingle:      %s", label, got.Body, want.Body)
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorValidation: the coordinator enforces the same request
+// validation as a server, without touching any shard.
+func TestCoordinatorValidation(t *testing.T) {
+	coord, _ := shardCluster(t, 2, ShardConfig{})
+	_, _, _, query := frozenMatrix(t)
+	for _, path := range []string{
+		"/search",
+		"/search?q=" + urlQuery(query) + "&limit=zero",
+		"/search?q=" + urlQuery(query) + "&limit=1001",
+		"/search?q=" + urlQuery(query) + "&offset=100001",
+		"/search?q=" + urlQuery(query) + "&threshold=2",
+	} {
+		if rec := coordGet(t, coord, path); rec.Code != 400 {
+			t.Fatalf("%s = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+// TestCoordinatorRelaysClientError: a query every shard rejects (unparsable
+// boolean) comes back as the shard's 400, not a 503 and not a partial page.
+func TestCoordinatorRelaysClientError(t *testing.T) {
+	coord, _ := shardCluster(t, 3, ShardConfig{AllowPartial: true})
+	rec := coordGet(t, coord, "/search?q="+urlQuery("AND AND (")+"&boolean=1")
+	if rec.Code != 400 {
+		t.Fatalf("unparsable boolean through coordinator = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "error") {
+		t.Fatalf("400 body lacks error payload: %s", rec.Body)
+	}
+}
+
+// TestCoordinatorDeadShard: a connection-refused shard fails the query with
+// 503 by default.
+func TestCoordinatorDeadShard(t *testing.T) {
+	_, backends := shardCluster(t, 3, ShardConfig{})
+	_, _, _, query := frozenMatrix(t)
+	// Re-front the same shards with one of them shut down.
+	urls := []string{backends[0].URL, backends[1].URL, backends[2].URL}
+	dead := httptest.NewServer(http.NewServeMux())
+	urls[1] = dead.URL
+	dead.Close() // now refuses connections
+	coord := NewCoordinator(urls, Config{}, ShardConfig{})
+	rec := coordGet(t, coord, "/search?q="+urlQuery(query)+"&limit=5")
+	if rec.Code != 503 {
+		t.Fatalf("dead shard = %d, want 503: %s", rec.Code, rec.Body)
+	}
+	snap := coord.Metrics().Snapshot()
+	if snap.Shards[1].Errors == 0 {
+		t.Fatalf("dead shard not counted as error: %+v", snap)
+	}
+
+	// /stats fails over past the dead shard: every round-robin position
+	// must still answer 200 with the coordinator's own counters attached.
+	for k := 0; k < 3; k++ {
+		rec := coordGet(t, coord, "/stats")
+		if rec.Code != 200 {
+			t.Fatalf("stats pick %d with dead shard = %d, want 200: %s", k, rec.Code, rec.Body)
+		}
+		var st StatsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("stats pick %d: %v", k, err)
+		}
+		if st.Sharding == nil {
+			t.Fatalf("stats pick %d lost the sharding counters", k)
+		}
+	}
+}
+
+// TestCoordinatorHangingShard: a shard that never answers resolves into a
+// 503 within the per-shard timeout — the coordinator never hangs.
+func TestCoordinatorHangingShard(t *testing.T) {
+	_, backends := shardCluster(t, 2, ShardConfig{})
+	_, _, _, query := frozenMatrix(t)
+	// The handler must block without reading the request body: with the
+	// body unread the server cannot observe the coordinator abandoning the
+	// connection, which is exactly the worst-case hang. The stop channel
+	// releases it at cleanup so the httptest server can close.
+	stop := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(func() {
+		close(stop)
+		hang.Close()
+	})
+	coord := NewCoordinator([]string{backends[0].URL, hang.URL}, Config{}, ShardConfig{ShardTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	rec := coordGet(t, coord, "/search?q="+urlQuery(query)+"&limit=5")
+	elapsed := time.Since(start)
+	if rec.Code != 503 {
+		t.Fatalf("hanging shard = %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("coordinator took %v to give up on a hanging shard", elapsed)
+	}
+	snap := coord.Metrics().Snapshot()
+	if snap.Shards[1].Timeouts == 0 {
+		t.Fatalf("hang not counted as timeout: %+v", snap)
+	}
+}
+
+// TestCoordinatorPartial: with AllowPartial, a failing shard degrades the
+// page (200, "partial": true, healthy shards' rows only) instead of failing
+// it; the degraded body is never cached, so a recovered shard immediately
+// restores the exact, unflagged page.
+func TestCoordinatorPartial(t *testing.T) {
+	sys, cs, m, query := frozenMatrix(t)
+	g := shard.NewGroup(sys.Analyzer(), cs, m, sys.Config().Relevancy, 2, shard.Options{})
+
+	srv0 := NewPending(Config{})
+	srv0.SetReadySharded(sys, cs, m, g.Engine(0))
+	ts0 := httptest.NewServer(srv0)
+	t.Cleanup(ts0.Close)
+
+	// Shard 1 fails its first /shard/search with a 500, then recovers.
+	srv1 := NewPending(Config{})
+	srv1.SetReadySharded(sys, cs, m, g.Engine(1))
+	var failures atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/shard/") && failures.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		srv1.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	coord := NewCoordinator([]string{ts0.URL, flaky.URL}, Config{}, ShardConfig{AllowPartial: true})
+	ref := NewPending(Config{})
+	ref.SetReadyFrozen(sys, cs, m)
+	path := "/search?q=" + urlQuery(query) + "&limit=10"
+
+	rec := coordGet(t, coord, path)
+	if rec.Code != 200 {
+		t.Fatalf("degraded search = %d: %s", rec.Code, rec.Body)
+	}
+	var degraded SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Partial {
+		t.Fatalf("degraded response not flagged partial: %s", rec.Body)
+	}
+	var full SearchResponse
+	if err := json.Unmarshal(get(t, ref, path).Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	// The degraded page holds only shard 0's rows — a strict subset when
+	// the full page draws from both shards, but always consistent rows.
+	seen := map[int]bool{}
+	for _, r := range full.Results {
+		seen[r.PaperID] = true
+	}
+	for _, r := range degraded.Results {
+		if int(g.Ranges()[0].Hi) <= r.PaperID {
+			t.Fatalf("degraded page has row from failed shard: %+v", r)
+		}
+	}
+	_ = seen
+
+	// Recovered: same request now serves the exact page, unflagged —
+	// proving the partial body was not cached.
+	rec = coordGet(t, coord, path)
+	want := get(t, ref, path)
+	if rec.Code != 200 || rec.Body.String() != want.Body.String() {
+		t.Fatalf("recovered search not exact:\ncoordinator: %s\nsingle:      %s", rec.Body, want.Body)
+	}
+	snap := coord.Metrics().Snapshot()
+	if snap.Partial != 1 {
+		t.Fatalf("partial counter = %d, want 1", snap.Partial)
+	}
+}
+
+// TestCoordinatorCache: identical queries hit the coordinator's body cache
+// instead of re-fanning out.
+func TestCoordinatorCache(t *testing.T) {
+	coord, _ := shardCluster(t, 2, ShardConfig{})
+	_, _, _, query := frozenMatrix(t)
+	path := "/search?q=" + urlQuery(query) + "&limit=7"
+	first := coordGet(t, coord, path)
+	second := coordGet(t, coord, path)
+	if first.Code != 200 || second.Code != 200 || first.Body.String() != second.Body.String() {
+		t.Fatalf("cached replay differs: %d %d", first.Code, second.Code)
+	}
+	snap := coord.Metrics().Snapshot()
+	if got := snap.Shards[0].Requests; got != 1 {
+		t.Fatalf("shard 0 saw %d search requests, want 1 (second must be served from cache)", got)
+	}
+	cst := coord.cache.Stats()
+	if cst.Hits != 1 || cst.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", cst)
+	}
+}
+
+// TestCoordinatorProxyEndpoints: /papers/{id}, /contexts and /stats answer
+// through the coordinator exactly as from a single server (modulo the
+// coordinator-specific cache and sharding stats).
+func TestCoordinatorProxyEndpoints(t *testing.T) {
+	sys, cs, m, query := frozenMatrix(t)
+	coord, _ := shardCluster(t, 3, ShardConfig{})
+	ref := NewPending(Config{})
+	ref.SetReadyFrozen(sys, cs, m)
+
+	for _, path := range []string{"/papers/0", "/papers/5", "/contexts?q=" + urlQuery(query), "/papers/999999"} {
+		want := get(t, ref, path)
+		got := coordGet(t, coord, path)
+		if got.Code != want.Code || got.Body.String() != want.Body.String() {
+			t.Fatalf("%s: coordinator (%d) %s\nsingle (%d) %s", path, got.Code, got.Body, want.Code, want.Body)
+		}
+	}
+
+	// Run one search so the sharding section has traffic, then check /stats.
+	coordGet(t, coord, "/search?q="+urlQuery(query)+"&limit=3")
+	rec := coordGet(t, coord, "/stats")
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Papers != sys.Corpus.Len() {
+		t.Fatalf("stats papers = %d, want %d", stats.Papers, sys.Corpus.Len())
+	}
+	if stats.Sharding == nil {
+		t.Fatal("coordinator stats lack sharding section")
+	}
+	if stats.Sharding.Searches == 0 || len(stats.Sharding.Shards) != 3 {
+		t.Fatalf("sharding stats = %+v", stats.Sharding)
+	}
+	var requests uint64
+	for _, s := range stats.Sharding.Shards {
+		requests += s.Requests
+	}
+	if requests == 0 {
+		t.Fatal("no shard requests counted")
+	}
+}
+
+// TestCoordinatorReadyz: the coordinator is ready only when every shard is.
+func TestCoordinatorReadyz(t *testing.T) {
+	sys, cs, m, _ := frozenMatrix(t)
+	g := shard.NewGroup(sys.Analyzer(), cs, m, sys.Config().Relevancy, 2, shard.Options{})
+
+	ready := NewPending(Config{})
+	ready.SetReadySharded(sys, cs, m, g.Engine(0))
+	tsReady := httptest.NewServer(ready)
+	t.Cleanup(tsReady.Close)
+
+	pending := NewPending(Config{})
+	tsPending := httptest.NewServer(pending)
+	t.Cleanup(tsPending.Close)
+
+	coord := NewCoordinator([]string{tsReady.URL, tsPending.URL}, Config{}, ShardConfig{})
+	if rec := coordGet(t, coord, "/readyz"); rec.Code != 503 {
+		t.Fatalf("readyz with pending shard = %d", rec.Code)
+	}
+	if rec := coordGet(t, coord, "/healthz"); rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	pending.SetReadySharded(sys, cs, m, g.Engine(1))
+	if rec := coordGet(t, coord, "/readyz"); rec.Code != 200 {
+		t.Fatalf("readyz with all shards ready = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestShardSearchEndpoint pins the internal endpoint's contract directly:
+// rendered rows in engine order, validation of the extended limit range.
+func TestShardSearchEndpoint(t *testing.T) {
+	sys, cs, m, query := frozenMatrix(t)
+	srv := NewPending(Config{})
+	srv.SetReadyFrozen(sys, cs, m)
+
+	post := func(body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/shard/search", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := post(fmt.Sprintf(`{"q":%q,"limit":5}`, query))
+	if rec.Code != 200 {
+		t.Fatalf("shard search = %d: %s", rec.Code, rec.Body)
+	}
+	var resp ShardSearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || len(resp.Results) > 5 {
+		t.Fatalf("shard rows = %d", len(resp.Results))
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if worseRow(resp.Results[i-1], resp.Results[i]) {
+			t.Fatalf("shard rows not in engine order at %d: %+v", i, resp.Results)
+		}
+	}
+
+	// The coordinator's folded limit (offset+limit) must be accepted beyond
+	// the public MaxLimit, up to the combined cap.
+	if rec := post(fmt.Sprintf(`{"q":%q,"limit":%d}`, query, MaxOffset+MaxLimit)); rec.Code != 200 {
+		t.Fatalf("folded limit rejected: %d %s", rec.Code, rec.Body)
+	}
+	if rec := post(fmt.Sprintf(`{"q":%q,"limit":%d}`, query, MaxOffset+MaxLimit+1)); rec.Code != 400 {
+		t.Fatalf("oversized limit = %d, want 400", rec.Code)
+	}
+	if rec := post(`{"q":""}`); rec.Code != 400 {
+		t.Fatalf("empty query = %d, want 400", rec.Code)
+	}
+	if rec := post(`{`); rec.Code != 400 {
+		t.Fatalf("bad JSON = %d, want 400", rec.Code)
+	}
+	if rec := post(fmt.Sprintf(`{"q":%q,"limit":5,"threshold":3}`, query)); rec.Code != 400 {
+		t.Fatalf("bad threshold = %d, want 400", rec.Code)
+	}
+}

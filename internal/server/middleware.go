@@ -2,10 +2,16 @@ package server
 
 import (
 	"context"
+	"log"
 	"net/http"
 	"runtime/debug"
 	"time"
 )
+
+// The middleware stack is shared by the single-engine Server and the
+// scatter-gather Coordinator: package-level wrappers parameterised on the
+// logger / semaphore / deadline they need, composed by each handler's
+// constructor.
 
 // statusRecorder captures the status code and whether anything was written,
 // for request logging and for recovery's "can I still write a 500?" check.
@@ -34,7 +40,7 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 // withLogging logs every request with status and latency. A handler that
 // wrote nothing (client abandoned the request) is logged as 499,
 // nginx-style.
-func (s *Server) withLogging(next http.Handler) http.Handler {
+func withLogging(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
@@ -43,7 +49,7 @@ func (s *Server) withLogging(next http.Handler) http.Handler {
 		if !rec.wrote {
 			status = 499
 		}
-		s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), status, time.Since(start).Round(time.Microsecond))
+		logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), status, time.Since(start).Round(time.Microsecond))
 	})
 }
 
@@ -52,7 +58,7 @@ func (s *Server) withLogging(next http.Handler) http.Handler {
 // panic during response writing can still leave a half-written reply, and
 // panics outside an http.Server — e.g. under httptest recorders — would
 // propagate). http.ErrAbortHandler keeps its conventional meaning.
-func (s *Server) withRecovery(next http.Handler) http.Handler {
+func withRecovery(logger *log.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -62,7 +68,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 			if sr, ok := w.(*statusRecorder); !ok || !sr.wrote {
 				writeErr(w, http.StatusInternalServerError, "internal server error")
 			}
@@ -74,28 +80,29 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // withShedding bounds concurrently served requests with a semaphore and
 // sheds the excess immediately with 429 + Retry-After — under overload a
 // fast rejection beats a queued request that will only time out later.
-func (s *Server) withShedding(next http.Handler) http.Handler {
-	if s.inflight == nil {
+// A nil semaphore disables shedding.
+func withShedding(inflight chan struct{}, next http.Handler) http.Handler {
+	if inflight == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
+		case inflight <- struct{}{}:
+			defer func() { <-inflight }()
 			next.ServeHTTP(w, r)
 		default:
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "server overloaded (%d requests in flight)", cap(s.inflight))
+			writeErr(w, http.StatusTooManyRequests, "server overloaded (%d requests in flight)", cap(inflight))
 		}
 	})
 }
 
 // withTimeout attaches the per-request deadline to the request context. The
-// handlers thread that context through the scoring pipeline and map its
-// expiry to a 503 (writeQueryErr), so a slow or abandoned query stops
-// computing instead of running to completion.
-func (s *Server) withTimeout(next http.Handler) http.Handler {
-	d := s.cfg.queryTimeout()
+// handlers thread that context through the scoring pipeline (or the shard
+// fan-out) and map its expiry to a 503 (writeQueryErr), so a slow or
+// abandoned query stops computing instead of running to completion. A
+// non-positive deadline disables the wrapper.
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
 	if d <= 0 {
 		return next
 	}

@@ -34,7 +34,18 @@ import (
 	"ctxsearch"
 	"ctxsearch/internal/cache"
 	"ctxsearch/internal/index"
+	"ctxsearch/internal/shard"
 )
+
+// Searcher is the query surface the server fronts. Both a single
+// *ctxsearch.Engine and an in-process *shard.Group satisfy it (the group
+// returns byte-identical results), so a deployment picks its shape purely
+// by what it installs via SetReadyFrozen / SetReadySharded.
+type Searcher interface {
+	SearchContext(ctx context.Context, query string, opts ctxsearch.SearchOptions) ([]ctxsearch.SearchResult, error)
+	SearchBooleanContext(ctx context.Context, query string, opts ctxsearch.SearchOptions) ([]ctxsearch.SearchResult, error)
+	SelectContextsContext(ctx context.Context, query string, opts ctxsearch.SearchOptions) ([]ctxsearch.ContextScore, error)
+}
 
 // Defaults for Config's zero values.
 const (
@@ -122,10 +133,10 @@ func (c Config) cacheTTL() time.Duration {
 // the engine is built, flipping /readyz to 200. Prestige is held in its
 // frozen CSR matrix form — the same structure the engine's hot path reads.
 type backend struct {
-	sys    *ctxsearch.System
-	cs     *ctxsearch.ContextSet
-	matrix *ctxsearch.Matrix
-	engine *ctxsearch.Engine
+	sys      *ctxsearch.System
+	cs       *ctxsearch.ContextSet
+	matrix   *ctxsearch.Matrix
+	searcher Searcher
 }
 
 // Server wires the search engine into an http.Handler behind the
@@ -179,6 +190,7 @@ func NewPending(cfg Config) *Server {
 	}
 	s.cache = cache.New[[]byte](cfg.cacheEntries(), cfg.cacheTTL())
 	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("POST /shard/search", s.handleShardSearch)
 	s.mux.HandleFunc("GET /contexts", s.handleContexts)
 	s.mux.HandleFunc("GET /papers/{id}", s.handlePaper)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -191,7 +203,7 @@ func NewPending(cfg Config) *Server {
 	// Middleware stack: probes bypass shedding and deadlines (they must
 	// answer while the API is saturated); recovery and logging wrap
 	// everything.
-	api := s.withShedding(s.withTimeout(s.mux))
+	api := withShedding(s.inflight, withTimeout(s.cfg.queryTimeout(), s.mux))
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/healthz", "/readyz":
@@ -200,7 +212,7 @@ func NewPending(cfg Config) *Server {
 			api.ServeHTTP(w, r)
 		}
 	})
-	s.handler = s.withLogging(s.withRecovery(root))
+	s.handler = withLogging(s.logger, withRecovery(s.logger, root))
 	return s
 }
 
@@ -215,11 +227,21 @@ func (s *Server) SetReady(sys *ctxsearch.System, cs *ctxsearch.ContextSet, score
 // cold-start path when the matrix was loaded from a v2 state file, so boot
 // never materialises the nested map form at all.
 func (s *Server) SetReadyFrozen(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix) {
+	s.SetReadySharded(sys, cs, m, sys.EngineFrozen(cs, m))
+}
+
+// SetReadySharded is SetReadyFrozen with an explicit query backend — the
+// sharded deployment shape, where the Searcher is an in-process shard.Group
+// (or any other exact implementation) instead of the single engine the
+// system would build. sys, cs and m still serve /papers, /contexts
+// rendering and /stats; they must be the corpus-global state the searcher
+// was built from.
+func (s *Server) SetReadySharded(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix, searcher Searcher) {
 	s.backend.Store(&backend{
-		sys:    sys,
-		cs:     cs,
-		matrix: m,
-		engine: sys.EngineFrozen(cs, m),
+		sys:      sys,
+		cs:       cs,
+		matrix:   m,
+		searcher: searcher,
 	})
 	// Responses computed by the previous engine are now stale; requests
 	// already in flight may still insert results of the old engine, which
@@ -279,10 +301,13 @@ func (s *Server) writeQueryErr(w http.ResponseWriter, r *http.Request, err error
 	}
 }
 
-// SearchResponse is the /search payload.
+// SearchResponse is the /search payload. Partial is set (and serialised)
+// only when a sharded coordinator answered without every shard — the
+// healthy-path body stays byte-identical to the single-engine server's.
 type SearchResponse struct {
 	Query   string         `json:"query"`
 	Results []SearchResult `json:"results"`
+	Partial bool           `json:"partial,omitempty"`
 }
 
 // SearchResult is one /search row.
@@ -299,57 +324,77 @@ type SearchResult struct {
 	ContextName string  `json:"context_name"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if s.ready(w) == nil {
-		return
-	}
-	q := strings.TrimSpace(r.URL.Query().Get("q"))
-	if q == "" {
+// searchParams is a validated /search request: the trimmed query, the
+// boolean-mode flag and the bounded paging options.
+type searchParams struct {
+	q       string
+	boolean bool
+	opts    ctxsearch.SearchOptions
+}
+
+// parseSearchParams validates the /search query string. On a bad request it
+// writes the 400 itself and reports ok=false. Shared by the single-engine
+// handler and the scatter-gather Coordinator so both fronts accept exactly
+// the same requests.
+func parseSearchParams(w http.ResponseWriter, r *http.Request) (p searchParams, ok bool) {
+	p.q = strings.TrimSpace(r.URL.Query().Get("q"))
+	if p.q == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
-		return
+		return p, false
 	}
 	// A request without limit serves the first DefaultLimit results — an
 	// omitted limit means "a reasonable first page", never "the whole
 	// corpus" (clients wanting more pages page explicitly, up to MaxLimit
 	// per request).
-	opts := ctxsearch.SearchOptions{Limit: DefaultLimit}
+	p.opts = ctxsearch.SearchOptions{Limit: DefaultLimit}
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
-			return
+			return p, false
 		}
 		if n > MaxLimit {
 			writeErr(w, http.StatusBadRequest, "limit %d exceeds maximum %d", n, MaxLimit)
-			return
+			return p, false
 		}
-		opts.Limit = n
+		p.opts.Limit = n
 	}
 	if v := r.URL.Query().Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeErr(w, http.StatusBadRequest, "bad offset %q", v)
-			return
+			return p, false
 		}
 		if n > MaxOffset {
 			writeErr(w, http.StatusBadRequest, "offset %d exceeds maximum %d", n, MaxOffset)
-			return
+			return p, false
 		}
-		opts.Offset = n
+		p.opts.Offset = n
 	}
 	if v := r.URL.Query().Get("threshold"); v != "" {
 		t, err := strconv.ParseFloat(v, 64)
 		if err != nil || t < 0 || t > 1 {
 			writeErr(w, http.StatusBadRequest, "bad threshold %q", v)
-			return
+			return p, false
 		}
-		opts.Threshold = t
+		p.opts.Threshold = t
 	}
-	ctx := r.Context()
-	boolean := false
 	if v := r.URL.Query().Get("boolean"); v == "1" || v == "true" {
-		boolean = true
+		p.boolean = true
 	}
+	return p, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.ready(w) == nil {
+		return
+	}
+	p, ok := parseSearchParams(w, r)
+	if !ok {
+		return
+	}
+	q, boolean, opts := p.q, p.boolean, p.opts
+	ctx := r.Context()
 	// The cache holds fully marshalled bodies, so a hit writes bytes
 	// without touching the engine, the corpus or the JSON encoder.
 	// Concurrent misses for the same key run one engine call; the loader
@@ -396,14 +441,26 @@ func (s *Server) buildSearchResponse(ctx context.Context, q string, boolean bool
 	var results []ctxsearch.SearchResult
 	var err error
 	if boolean {
-		results, err = b.engine.SearchBooleanContext(ctx, q, opts)
+		results, err = b.searcher.SearchBooleanContext(ctx, q, opts)
 	} else {
-		results, err = b.engine.SearchContext(ctx, q, opts)
+		results, err = b.searcher.SearchContext(ctx, q, opts)
 	}
 	if err != nil {
 		return nil, err
 	}
-	resp := SearchResponse{Query: q, Results: []SearchResult{}}
+	rows, err := b.renderResults(ctx, q, results)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(SearchResponse{Query: q, Results: rows})
+}
+
+// renderResults resolves engine rows into API rows: paper metadata, the
+// highlighted snippet and the context name. Shared by the /search and
+// /shard/search handlers, so a coordinator that merges shard rows serves
+// exactly what the single-engine server would have rendered.
+func (b *backend) renderResults(ctx context.Context, q string, results []ctxsearch.SearchResult) ([]SearchResult, error) {
+	rows := []SearchResult{}
 	for _, res := range results {
 		// Snippet extraction re-reads document text: keep honouring the
 		// deadline while building the response.
@@ -411,7 +468,7 @@ func (s *Server) buildSearchResponse(ctx context.Context, q string, boolean bool
 			return nil, err
 		}
 		p := b.sys.Corpus.Paper(res.Doc)
-		resp.Results = append(resp.Results, SearchResult{
+		rows = append(rows, SearchResult{
 			PaperID:     int(res.Doc),
 			PMID:        p.PMID,
 			Year:        p.Year,
@@ -424,7 +481,84 @@ func (s *Server) buildSearchResponse(ctx context.Context, q string, boolean bool
 			ContextName: b.sys.Ontology.Term(res.Context).Name,
 		})
 	}
-	return json.Marshal(resp)
+	return rows, nil
+}
+
+// ShardSearchRequest is the POST /shard/search payload: one shard's slice
+// of a scatter-gather query. Limit may exceed MaxLimit (up to
+// MaxOffset+MaxLimit) because the coordinator folds the client's offset
+// into the shard limit; Offset is always 0 in coordinator traffic but
+// accepted for direct diagnostics.
+type ShardSearchRequest struct {
+	Q         string  `json:"q"`
+	Boolean   bool    `json:"boolean,omitempty"`
+	Limit     int     `json:"limit"`
+	Offset    int     `json:"offset,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// ShardSearchResponse carries one shard's rendered, ranked page back to the
+// coordinator. Rows are in the engine's result order (descending relevancy,
+// ties by ascending paper id).
+type ShardSearchResponse struct {
+	Results []SearchResult `json:"results"`
+}
+
+// handleShardSearch serves the internal scatter-gather endpoint: the
+// backend's own ranked page for one query, fully rendered. Every server
+// exposes it — what makes a process a "shard" is being handed a
+// range-restricted searcher at boot, not a different route table.
+func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
+	b := s.ready(w)
+	if b == nil {
+		return
+	}
+	var req ShardSearchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad shard request: %v", err)
+		return
+	}
+	req.Q = strings.TrimSpace(req.Q)
+	if req.Q == "" {
+		writeErr(w, http.StatusBadRequest, "missing query q")
+		return
+	}
+	// The coordinator may legitimately ask for offset+limit rows in one
+	// page; anything beyond the combined cap is a bug or abuse.
+	if req.Limit < 0 || req.Limit > MaxOffset+MaxLimit {
+		writeErr(w, http.StatusBadRequest, "bad shard limit %d", req.Limit)
+		return
+	}
+	if req.Offset < 0 || req.Offset > MaxOffset {
+		writeErr(w, http.StatusBadRequest, "bad shard offset %d", req.Offset)
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		writeErr(w, http.StatusBadRequest, "bad shard threshold %v", req.Threshold)
+		return
+	}
+	ctx := r.Context()
+	if s.testHook != nil {
+		s.testHook(ctx)
+	}
+	opts := ctxsearch.SearchOptions{Limit: req.Limit, Offset: req.Offset, Threshold: req.Threshold}
+	var results []ctxsearch.SearchResult
+	var err error
+	if req.Boolean {
+		results, err = b.searcher.SearchBooleanContext(ctx, req.Q, opts)
+	} else {
+		results, err = b.searcher.SearchContext(ctx, req.Q, opts)
+	}
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	rows, err := b.renderResults(ctx, req.Q, results)
+	if err != nil {
+		s.writeQueryErr(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardSearchResponse{Results: rows})
 }
 
 // ContextInfo is one /contexts row.
@@ -446,7 +580,7 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
 		return
 	}
-	sel, err := b.engine.SelectContextsContext(r.Context(), q, ctxsearch.SearchOptions{})
+	sel, err := b.searcher.SelectContextsContext(r.Context(), q, ctxsearch.SearchOptions{})
 	if err != nil {
 		s.writeQueryErr(w, r, err)
 		return
@@ -538,6 +672,9 @@ type StatsResponse struct {
 	CacheMisses    uint64 `json:"cache_misses"`
 	CacheCoalesced uint64 `json:"cache_coalesced"`
 	CacheEntries   int    `json:"cache_entries"`
+	// Sharding holds scatter-gather counters when the installed searcher is
+	// a shard group (or this server is a coordinator); absent otherwise.
+	Sharding *shard.Snapshot `json:"sharding,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -546,7 +683,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cst := s.cache.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Papers:         b.sys.Corpus.Len(),
 		OntologyTerms:  b.sys.Ontology.Len(),
 		Contexts:       len(b.cs.Contexts()),
@@ -556,5 +693,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:    cst.Misses,
 		CacheCoalesced: cst.Coalesced,
 		CacheEntries:   cst.Entries,
-	})
+	}
+	if sm, ok := b.searcher.(interface{ Metrics() *shard.Metrics }); ok {
+		snap := sm.Metrics().Snapshot()
+		resp.Sharding = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

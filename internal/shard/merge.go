@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"ctxsearch/internal/search"
+	"ctxsearch/internal/topk"
+)
+
+// MergePages merges per-shard ranked pages into the page a single engine
+// would serve for opts, exactly.
+//
+// Contract: every page is sorted in search.SortResults order (descending
+// relevancy, ties by ascending paper ID — the order every engine and the
+// shard HTTP endpoint emit), pages hold disjoint papers, and each page
+// contains its shard's top ShardOptions(opts) results. Under those
+// invariants the global top offset+limit results are all present in the
+// input (restricting a ranking to a subset of papers can only improve a
+// paper's rank), so the bounded heap selects exactly them, and the final
+// SortResults + Paginate reproduce the single-engine page byte for byte.
+//
+// Early termination is monotone: pages are sorted, so a page's next row is
+// an exact upper bound on everything after it. Once the heap is full and a
+// row cannot displace the heap minimum, the rest of that page is skipped
+// — the same rows Offer would have rejected one by one. In particular a
+// whole shard whose best row is already beaten costs one comparison.
+func MergePages(pages [][]search.Result, opts search.Options) []search.Result {
+	k := 0
+	if opts.Limit > 0 && opts.Offset >= 0 {
+		k = opts.Offset + opts.Limit
+	}
+	if k <= 0 {
+		// Unbounded request: concatenate (papers are disjoint across
+		// shards) and sort the union.
+		var out []search.Result
+		for _, p := range pages {
+			out = append(out, p...)
+		}
+		search.SortResults(out)
+		return search.Paginate(out, opts)
+	}
+	heap := topk.New(k, search.WorseResult)
+	for _, p := range pages {
+		for _, r := range p {
+			if heap.Full() && !search.WorseResult(heap.Min(), r) {
+				break // sorted page: every later row is worse still
+			}
+			heap.Offer(r)
+		}
+	}
+	out := heap.Items()
+	search.SortResults(out)
+	return search.Paginate(out, opts)
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds a coordinator's fan-out counters: per-shard request,
+// error and timeout counts plus the scatter-gather latency split (the
+// slowest shard vs the merge itself, as running totals so averages are
+// derivable). All methods are safe for concurrent use; both the
+// in-process Group and the HTTP Coordinator update one instance.
+type Metrics struct {
+	searches      atomic.Uint64
+	partial       atomic.Uint64
+	maxShardNanos atomic.Int64
+	mergeNanos    atomic.Int64
+	shards        []shardCounters
+}
+
+type shardCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// NewMetrics returns zeroed counters for n shards.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{shards: make([]shardCounters, n)}
+}
+
+// ObserveShard records one shard request and its outcome. A deadline
+// expiry counts as a timeout, any other failure as an error.
+func (m *Metrics) ObserveShard(i int, err error) {
+	c := &m.shards[i]
+	c.requests.Add(1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		c.timeouts.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+}
+
+// ObserveSearch records one completed scatter-gather: the slowest shard's
+// latency and the coordinator-side merge time.
+func (m *Metrics) ObserveSearch(maxShard, merge time.Duration) {
+	m.searches.Add(1)
+	m.maxShardNanos.Add(int64(maxShard))
+	m.mergeNanos.Add(int64(merge))
+}
+
+// ObservePartial records a search answered with a flagged partial result
+// (some shard failed and the coordinator's partial policy allowed it).
+func (m *Metrics) ObservePartial() { m.partial.Add(1) }
+
+// ShardStat is one shard's counters in a Snapshot.
+type ShardStat struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// Snapshot is a point-in-time copy of the coordinator counters, shaped
+// for the /stats payload.
+type Snapshot struct {
+	// Searches counts completed scatter-gather merges; Partial the subset
+	// served degraded.
+	Searches uint64 `json:"searches"`
+	Partial  uint64 `json:"partial"`
+	// MaxShardMicrosTotal sums each search's slowest shard latency;
+	// MergeMicrosTotal sums the coordinator merge time — divide either by
+	// Searches for the mean split.
+	MaxShardMicrosTotal uint64      `json:"max_shard_micros_total"`
+	MergeMicrosTotal    uint64      `json:"merge_micros_total"`
+	Shards              []ShardStat `json:"shards"`
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Searches:            m.searches.Load(),
+		Partial:             m.partial.Load(),
+		MaxShardMicrosTotal: uint64(m.maxShardNanos.Load() / 1e3),
+		MergeMicrosTotal:    uint64(m.mergeNanos.Load() / 1e3),
+		Shards:              make([]ShardStat, len(m.shards)),
+	}
+	for i := range m.shards {
+		c := &m.shards[i]
+		s.Shards[i] = ShardStat{
+			Requests: c.requests.Load(),
+			Errors:   c.errors.Load(),
+			Timeouts: c.timeouts.Load(),
+		}
+	}
+	return s
+}
+
+// AtomicMaxDuration tracks the maximum of concurrently observed durations
+// — the slowest-shard latency of one scatter-gather fan-out.
+type AtomicMaxDuration struct{ v atomic.Int64 }
+
+// Observe folds one duration into the running maximum.
+func (a *AtomicMaxDuration) Observe(d time.Duration) {
+	for {
+		cur := a.v.Load()
+		if int64(d) <= cur || a.v.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (a *AtomicMaxDuration) Load() time.Duration { return time.Duration(a.v.Load()) }

@@ -1,0 +1,313 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/search"
+)
+
+// fixture holds the corpus-global state every shard shares, plus the
+// single-engine reference the golden battery compares against.
+type fixture struct {
+	onto   *ontology.Ontology
+	c      *corpus.Corpus
+	a      *corpus.Analyzer
+	cs     *contextset.ContextSet
+	matrix *prestige.Matrix
+	ref    *search.Engine
+}
+
+var cached *fixture
+
+func buildFixture(t testing.TB) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	o, err := ontology.Generate(ontology.GenConfig{Seed: 6, NumTerms: 60, MaxDepth: 6, SecondParentProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	cs := contextset.BuildTextBased(a, o, contextset.DefaultConfig())
+	scores := prestige.ScoreAll(prestige.NewTextScorer(a, prestige.DefaultTextWeights()), cs, 0)
+	prestige.PropagateMax(o, scores)
+	m := scores.Freeze()
+	cached = &fixture{
+		onto: o, c: c, a: a, cs: cs, matrix: m,
+		ref: search.NewEngineFrozen(index.Build(a), cs, m, search.DefaultWeights()),
+	}
+	return cached
+}
+
+// goldenQueries mirrors the search package's battery: exact context names,
+// cross-context mixes, generic phrases and a no-match query.
+func goldenQueries(f *fixture) []string {
+	var names []string
+	for _, ctx := range f.matrix.Contexts() {
+		if t := f.onto.Term(ctx); t != nil {
+			names = append(names, t.Name)
+		}
+		if len(names) >= 10 {
+			break
+		}
+	}
+	queries := append([]string(nil), names...)
+	for i := 0; i+1 < len(names); i += 2 {
+		queries = append(queries, names[i]+" "+names[i+1])
+	}
+	queries = append(queries,
+		"regulation of rna protein binding",
+		"transport activity complex formation",
+		"qqqzzz unknown words",
+	)
+	return queries
+}
+
+// diffResults compares element-wise: a group may return an empty non-nil
+// page where the engine returns nil (or vice versa) — the contract is the
+// rows, not the slice header.
+func diffResults(t *testing.T, label string, got, want []search.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: group returned %d results, engine %d\ngot:  %v\nwant: %v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs\ngot:  %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+var shardCounts = []int{1, 2, 3, 5, 8}
+
+func buildGroups(t testing.TB, f *fixture) map[int]*Group {
+	t.Helper()
+	groups := make(map[int]*Group, len(shardCounts))
+	for _, n := range shardCounts {
+		groups[n] = NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), n, Options{})
+	}
+	return groups
+}
+
+// TestGroupGoldenEquality is the tentpole guarantee: for every shard count,
+// the scatter-gather page equals the single-engine page exactly — same
+// documents, same scores bit for bit, same maximising contexts — across
+// randomized (limit, offset, threshold, context-count) combinations on both
+// the vector and boolean paths, including unlimited requests.
+func TestGroupGoldenEquality(t *testing.T) {
+	f := buildFixture(t)
+	groups := buildGroups(t, f)
+	queries := goldenQueries(f)
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range shardCounts {
+		g := groups[n]
+		if got := g.NumShards(); got > n || got < 1 {
+			t.Fatalf("group for n=%d has %d shards", n, got)
+		}
+		for qi, q := range queries {
+			for trial := 0; trial < 6; trial++ {
+				opts := search.Options{
+					Limit:           1 + rng.Intn(20),
+					MaxContexts:     1 + rng.Intn(8),
+					MinContextMatch: 0.01,
+				}
+				if rng.Intn(2) == 0 {
+					opts.Offset = rng.Intn(15)
+				}
+				if rng.Intn(3) == 0 {
+					opts.Threshold = rng.Float64() * 0.4
+				}
+				if trial == 5 {
+					// Unlimited page: exercises the concatenate-and-sort
+					// merge path.
+					opts.Limit, opts.Offset = 0, 0
+				}
+				label := fmt.Sprintf("shards=%d query %d %q trial %d opts %+v", n, qi, q, trial, opts)
+				diffResults(t, label, g.Search(q, opts), f.ref.Search(q, opts))
+
+				bg, bgErr := g.SearchBoolean(q, opts)
+				bw, bwErr := f.ref.SearchBoolean(q, opts)
+				if (bgErr == nil) != (bwErr == nil) {
+					t.Fatalf("%s: boolean error mismatch: group %v, engine %v", label, bgErr, bwErr)
+				}
+				if bgErr == nil {
+					diffResults(t, label+" boolean", bg, bw)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupBooleanOperators covers structured boolean queries (AND/OR/NOT,
+// phrases) through the fan-out, where per-shard parsing must agree.
+func TestGroupBooleanOperators(t *testing.T) {
+	f := buildFixture(t)
+	g := NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), 4, Options{})
+	names := goldenQueries(f)
+	queries := []string{
+		names[0] + " AND " + names[1],
+		names[0] + " OR " + names[2],
+		names[0] + " NOT " + names[1],
+		"\"" + names[0] + "\"",
+	}
+	for _, q := range queries {
+		for _, opts := range []search.Options{{Limit: 10}, {Limit: 3, Offset: 4}, {}} {
+			got, gotErr := g.SearchBoolean(q, opts)
+			want, wantErr := f.ref.SearchBoolean(q, opts)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%q: error mismatch: group %v, engine %v", q, gotErr, wantErr)
+			}
+			diffResults(t, fmt.Sprintf("boolean %q opts %+v", q, opts), got, want)
+		}
+	}
+}
+
+// TestGroupSelectContexts pins that context selection is shard-independent:
+// the group's answer (served by shard 0) equals the single engine's.
+func TestGroupSelectContexts(t *testing.T) {
+	f := buildFixture(t)
+	g := NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), 3, Options{})
+	for _, q := range goldenQueries(f) {
+		got, err := g.SelectContextsContext(context.Background(), q, search.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.ref.SelectContexts(q, search.Options{})
+		if len(got) != len(want) {
+			t.Fatalf("%q: group selected %d contexts, engine %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q: selection %d differs: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGroupRangesPartition checks the shard split covers the corpus with
+// disjoint contiguous ranges.
+func TestGroupRangesPartition(t *testing.T) {
+	f := buildFixture(t)
+	for _, n := range shardCounts {
+		g := NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), n, Options{})
+		ranges := g.Ranges()
+		next := 0
+		for _, r := range ranges {
+			if r.Lo != next || r.Hi <= r.Lo {
+				t.Fatalf("n=%d: bad range %+v (want Lo=%d)", n, r, next)
+			}
+			next = r.Hi
+		}
+		if next != f.c.Len() {
+			t.Fatalf("n=%d: ranges cover [0,%d), corpus has %d papers", n, next, f.c.Len())
+		}
+	}
+}
+
+// TestGroupMetrics checks the fan-out counters: every search touches every
+// shard exactly once and lands in the search/latency totals.
+func TestGroupMetrics(t *testing.T) {
+	f := buildFixture(t)
+	g := NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), 3, Options{FanOut: 2})
+	q := goldenQueries(f)[0]
+	const searches = 4
+	for i := 0; i < searches; i++ {
+		g.Search(q, search.Options{Limit: 5, Offset: i}) // distinct opts: no cache in the group
+	}
+	snap := g.Metrics().Snapshot()
+	if snap.Searches != searches {
+		t.Fatalf("snapshot has %d searches, want %d", snap.Searches, searches)
+	}
+	if snap.Partial != 0 {
+		t.Fatalf("in-process group recorded %d partials", snap.Partial)
+	}
+	if len(snap.Shards) != g.NumShards() {
+		t.Fatalf("snapshot has %d shard rows, want %d", len(snap.Shards), g.NumShards())
+	}
+	for i, s := range snap.Shards {
+		if s.Requests != searches || s.Errors != 0 || s.Timeouts != 0 {
+			t.Fatalf("shard %d counters %+v, want %d clean requests", i, s, searches)
+		}
+	}
+}
+
+// TestGroupContextCancellation: a cancelled context aborts the fan-out with
+// the context error, like a single engine.
+func TestGroupContextCancellation(t *testing.T) {
+	f := buildFixture(t)
+	g := NewGroup(f.a, f.cs, f.matrix, search.DefaultWeights(), 2, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.SearchContext(ctx, goldenQueries(f)[0], search.Options{Limit: 5}); err == nil {
+		t.Fatal("cancelled search returned no error")
+	}
+	snap := g.Metrics().Snapshot()
+	errs := uint64(0)
+	for _, s := range snap.Shards {
+		errs += s.Errors
+	}
+	if errs == 0 {
+		t.Fatal("cancellation not recorded in shard error counters")
+	}
+}
+
+// TestShardOptions pins the scatter transformation.
+func TestShardOptions(t *testing.T) {
+	tests := []struct {
+		in, want search.Options
+	}{
+		{search.Options{Limit: 10}, search.Options{Limit: 10}},
+		{search.Options{Limit: 10, Offset: 5}, search.Options{Limit: 15}},
+		{search.Options{}, search.Options{}},
+		{search.Options{Offset: 7}, search.Options{}},
+		{search.Options{Limit: 3, Offset: 2, Threshold: 0.5}, search.Options{Limit: 5, Threshold: 0.5}},
+	}
+	for _, tc := range tests {
+		if got := ShardOptions(tc.in); got != tc.want {
+			t.Fatalf("ShardOptions(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestMergePagesEarlyTermination feeds hand-built sorted pages and checks
+// both the merged order and the paging window.
+func TestMergePagesEarlyTermination(t *testing.T) {
+	a := []search.Result{{Doc: 1, Relevancy: 0.9}, {Doc: 3, Relevancy: 0.5}, {Doc: 5, Relevancy: 0.1}}
+	b := []search.Result{{Doc: 2, Relevancy: 0.8}, {Doc: 4, Relevancy: 0.4}}
+	got := MergePages([][]search.Result{a, b}, search.Options{Limit: 2})
+	if len(got) != 2 || got[0].Doc != 1 || got[1].Doc != 2 {
+		t.Fatalf("merged page = %+v", got)
+	}
+	// Offset window crossing shard boundaries.
+	got = MergePages([][]search.Result{a, b}, search.Options{Limit: 2, Offset: 1})
+	if len(got) != 2 || got[0].Doc != 2 || got[1].Doc != 3 {
+		t.Fatalf("offset page = %+v", got)
+	}
+	// Unbounded: all rows, globally sorted.
+	got = MergePages([][]search.Result{a, b}, search.Options{})
+	if len(got) != 5 || got[0].Doc != 1 || got[4].Doc != 5 {
+		t.Fatalf("unbounded merge = %+v", got)
+	}
+	// Tie on relevancy: ascending doc order.
+	tie := MergePages([][]search.Result{
+		{{Doc: 9, Relevancy: 0.7}},
+		{{Doc: 2, Relevancy: 0.7}},
+	}, search.Options{Limit: 2})
+	if tie[0].Doc != 2 || tie[1].Doc != 9 {
+		t.Fatalf("tie order = %+v", tie)
+	}
+}

@@ -2,7 +2,9 @@
 # Black-box smoke test of `ctxsearch serve`: builds the real binary, boots
 # it on an ephemeral port, waits for /readyz to flip, exercises the API and
 # its limit validation with curl, then sends SIGTERM and requires a clean
-# (graceful) exit. Run via `make serve-smoke`.
+# (graceful) exit. A second phase boots a 3-shard multi-process cluster
+# (three `ctxsearch shard` processes plus a stateless coordinator) and
+# drives one search through the coordinator. Run via `make serve-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,8 +13,13 @@ workdir="$(mktemp -d)"
 bin="$workdir/ctxsearch"
 logfile="$workdir/serve.log"
 pid=""
+extra_pids=()
 
 cleanup() {
+    local p
+    for p in "${extra_pids[@]:-}"; do
+        [[ -n "$p" ]] && kill -KILL "$p" 2>/dev/null || true
+    done
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
         kill -KILL "$pid" 2>/dev/null || true
     fi
@@ -22,9 +29,37 @@ trap cleanup EXIT
 
 fail() {
     echo "serve-smoke: FAIL: $*" >&2
-    echo "--- server log ---" >&2
-    cat "$logfile" >&2 || true
+    local f
+    for f in "$workdir"/*.log; do
+        echo "--- $(basename "$f") ---" >&2
+        cat "$f" >&2 || true
+    done
     exit 1
+}
+
+# wait_addr LOGFILE PID: echoes the host:port from the "listening on" line.
+wait_addr() {
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$1" | head -n1)"
+        [[ -n "$addr" ]] && break
+        kill -0 "$2" 2>/dev/null || return 1
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || return 1
+    echo "$addr"
+}
+
+# wait_ready BASEURL: polls /readyz until 200 (up to 30s — shard processes
+# each build the full corpus before restricting to their range).
+wait_ready() {
+    local code=""
+    for _ in $(seq 1 300); do
+        code="$(curl -s -o /dev/null -w '%{http_code}' "$1/readyz")"
+        [[ "$code" == "200" ]] && return 0
+        sleep 0.1
+    done
+    return 1
 }
 
 echo "serve-smoke: building binary"
@@ -36,14 +71,7 @@ pid=$!
 
 # The listen line appears as soon as the port binds (before the engine is
 # built); readiness flips later via /readyz.
-addr=""
-for _ in $(seq 1 100); do
-    addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$logfile" | head -n1)"
-    [[ -n "$addr" ]] && break
-    kill -0 "$pid" 2>/dev/null || fail "server exited before listening"
-    sleep 0.1
-done
-[[ -n "$addr" ]] || fail "never saw the listening line"
+addr="$(wait_addr "$logfile" "$pid")" || fail "never saw the listening line"
 base="http://$addr"
 echo "serve-smoke: listening on $addr"
 
@@ -51,12 +79,7 @@ echo "serve-smoke: listening on $addr"
 code="$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz")"
 [[ "$code" == "200" ]] || fail "/healthz = $code, want 200"
 
-for _ in $(seq 1 100); do
-    code="$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz")"
-    [[ "$code" == "200" ]] && break
-    sleep 0.1
-done
-[[ "$code" == "200" ]] || fail "/readyz never flipped to 200 (last $code)"
+wait_ready "$base" || fail "/readyz never flipped to 200"
 echo "serve-smoke: ready"
 
 code="$(curl -s -o /dev/null -w '%{http_code}' "$base/search?q=transcription&limit=5")"
@@ -80,5 +103,68 @@ if kill -0 "$pid" 2>/dev/null; then
 fi
 wait "$pid" || fail "server exited non-zero after SIGTERM"
 pid=""
+
+echo "serve-smoke: phase 2 — 3-shard multi-process cluster"
+
+# Boot three shard processes. Each builds the same deterministic corpus
+# (same -papers/-terms seed) and serves its own third of the paper IDs.
+shard_urls=()
+for i in 0 1 2; do
+    shardlog="$workdir/shard$i.log"
+    "$bin" -papers 300 -terms 60 -addr 127.0.0.1:0 \
+        -shard-index "$i" -shard-count 3 shard >"$shardlog" 2>&1 &
+    extra_pids+=($!)
+done
+for i in 0 1 2; do
+    saddr="$(wait_addr "$workdir/shard$i.log" "${extra_pids[$i]}")" \
+        || fail "shard $i never listened"
+    shard_urls+=("http://$saddr")
+    echo "serve-smoke: shard $i listening on $saddr"
+done
+
+# The coordinator is stateless: no corpus flags, just the shard URLs.
+coordlog="$workdir/coord.log"
+"$bin" -addr 127.0.0.1:0 \
+    -shard-urls "$(IFS=,; echo "${shard_urls[*]}")" serve >"$coordlog" 2>&1 &
+extra_pids+=($!)
+caddr="$(wait_addr "$coordlog" "${extra_pids[3]}")" || fail "coordinator never listened"
+cbase="http://$caddr"
+echo "serve-smoke: coordinator listening on $caddr"
+
+# Readiness: every shard, then the coordinator (which fans /readyz out and
+# answers 200 only once all shards are ready).
+for i in 0 1 2; do
+    wait_ready "${shard_urls[$i]}" || fail "shard $i /readyz never flipped to 200"
+done
+wait_ready "$cbase" || fail "coordinator /readyz never flipped to 200"
+echo "serve-smoke: cluster ready"
+
+# One search through the coordinator must return results merged from the
+# shard pages.
+body="$(curl -s -w '\n%{http_code}' "$cbase/search?q=transcription&limit=5")"
+code="${body##*$'\n'}"
+[[ "$code" == "200" ]] || fail "coordinator /search = $code, want 200"
+grep -q '"paper_id"' <<<"$body" || fail "coordinator /search returned no result rows: $body"
+grep -q '"partial"' <<<"$body" && fail "healthy cluster flagged a partial response: $body"
+
+# Stats through the coordinator must include the sharding counters.
+curl -s "$cbase/stats" | grep -q '"sharding"' || fail "coordinator /stats has no sharding block"
+
+# Graceful drain: coordinator first, then the shards.
+echo "serve-smoke: SIGTERM cluster"
+for p in "${extra_pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null || true
+done
+for p in "${extra_pids[@]}"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$p" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$p" 2>/dev/null; then
+        fail "cluster process $p still running 10s after SIGTERM"
+    fi
+    wait "$p" || fail "cluster process $p exited non-zero after SIGTERM"
+done
+extra_pids=()
 
 echo "serve-smoke: PASS"
