@@ -18,8 +18,10 @@ verify: vet build test race
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# (leaked goroutines, shared ports, package-level caches) can't hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,11 +29,13 @@ vet:
 # Every package: a hand-maintained list would silently miss new concurrent
 # packages (as it briefly did when internal/shard landed).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Black-box smoke test of the serve command: boots the real binary, waits
 # for readiness, exercises the HTTP API with curl, and checks that SIGTERM
-# produces a graceful exit.
+# produces a graceful exit. Also runs a 3-shard cluster phase and a chaos
+# phase (2 ranges x 2 replicas, replica killed and restarted mid-traffic
+# with byte-identical pages required throughout).
 serve-smoke:
 	./scripts/serve_smoke.sh
 

@@ -75,7 +75,9 @@
 //	                   are byte-identical at any N)
 //	-shard-urls LIST   serve: run as a stateless coordinator over the
 //	                   comma-separated shard base URLs instead of
-//	                   building any engine
+//	                   building any engine; each comma-separated range may
+//	                   list several replicas separated by "|"
+//	                   (url1|url2,url3|url4 = 2 ranges x 2 replicas)
 //	-shard-index N     shard: which range this process serves (0-based)
 //	-shard-count N     shard: total number of shard processes
 //	-shard-timeout D   coordinator: per-shard sub-request deadline
@@ -84,6 +86,26 @@
 //	                   page flagged "partial": true instead of a 503
 //	-fanout N          max concurrent shard requests per query
 //	                   (default 0 = all shards at once)
+//
+// Coordinator resilience flags (replicated deployments; see DESIGN.md's
+// failure-mode matrix):
+//
+//	-max-retries N        retries per failed range call, each preferring a
+//	                      replica not yet tried (default 2; 0 disables)
+//	-retry-budget N       retry token bucket capacity; retries across ALL
+//	                      requests are bounded by capacity + requests*ratio,
+//	                      so retry storms cannot multiply overload
+//	                      (default 10; <=0 unbounded)
+//	-retry-ratio R        tokens deposited per request (default 0.1)
+//	-hedge-after D        race a second replica when the first is slower
+//	                      than D, first success wins (default 0 = off)
+//	-breaker-threshold N  consecutive failures that trip a replica's
+//	                      circuit breaker open (default 5)
+//	-breaker-cooldown D   open-breaker rejection window before a half-open
+//	                      probe (default 2s)
+//	-probe-interval D     active /healthz probe period feeding breaker and
+//	                      replica-selection state (default 500ms;
+//	                      <=0 disables)
 //
 // serve binds its port immediately and builds the engine in the
 // background: /healthz answers at once, /readyz (and the API) flip from
@@ -111,6 +133,7 @@ import (
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/resilience"
 	"ctxsearch/internal/server"
 	"ctxsearch/internal/shard"
 	"ctxsearch/internal/store"
@@ -172,6 +195,13 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	shardTimeout := fs.Duration("shard-timeout", server.DefaultShardTimeout, "coordinator: per-shard sub-request deadline (<=0 disables)")
 	allowPartial := fs.Bool("allow-partial", false, "coordinator: serve degraded pages flagged partial instead of 503 on shard failure")
 	fanout := fs.Int("fanout", 0, "max concurrent shard requests per query (0 = all shards at once)")
+	maxRetries := fs.Int("max-retries", server.DefaultMaxRetries, "coordinator: retries per failed range call, preferring untried replicas (0 disables)")
+	retryBudget := fs.Float64("retry-budget", resilience.DefaultBudgetCapacity, "coordinator: retry token bucket capacity bounding total retry amplification (<=0 unbounded)")
+	retryRatio := fs.Float64("retry-ratio", resilience.DefaultBudgetRatio, "coordinator: retry tokens deposited per request (steady-state retry fraction)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "coordinator: hedge a slow range call to a second replica after this delay (0 disables)")
+	breakerThreshold := fs.Int("breaker-threshold", resilience.DefaultFailureThreshold, "coordinator: consecutive failures tripping a replica's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", resilience.DefaultCooldown, "coordinator: how long an open breaker rejects before a half-open probe")
+	probeInterval := fs.Duration("probe-interval", resilience.DefaultProbeInterval, "coordinator: active /healthz probe period per replica (<=0 disables probing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +229,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			cacheEntries: *cacheEntries, cacheTTL: *cacheTTL,
 			shards: *shards, shardURLs: *shardURLs,
 			shardTimeout: *shardTimeout, allowPartial: *allowPartial, fanout: *fanout,
+			maxRetries: *maxRetries, retryBudget: *retryBudget, retryRatio: *retryRatio,
+			hedgeAfter: *hedgeAfter, breakerThreshold: *breakerThreshold,
+			breakerCooldown: *breakerCooldown, probeInterval: *probeInterval,
 		}
 		if cmd == "shard" {
 			if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
@@ -284,6 +317,12 @@ type serveOpts struct {
 	shardTimeout           time.Duration
 	allowPartial           bool
 	fanout                 int
+	// Coordinator resilience tuning (see internal/resilience).
+	maxRetries                     int
+	retryBudget, retryRatio        float64
+	hedgeAfter                     time.Duration
+	breakerThreshold               int
+	breakerCooldown, probeInterval time.Duration
 }
 
 // serveCmd runs the hardened HTTP server: the port binds immediately with a
@@ -357,12 +396,32 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 		if len(urls) == 0 {
 			return fmt.Errorf("serve: -shard-urls has no URLs")
 		}
+		mr := o.maxRetries
+		if mr <= 0 {
+			mr = -1 // flag "disabled" → ShardConfig "no retries"
+		}
+		rb := o.retryBudget
+		if rb <= 0 {
+			rb = -1 // flag "unbounded" → ShardConfig "no budget"
+		}
+		pi := o.probeInterval
+		if pi <= 0 {
+			pi = -1 // flag "disabled" → ShardConfig "no prober"
+		}
 		coord := server.NewCoordinator(urls, scfg, server.ShardConfig{
-			ShardTimeout: st,
-			AllowPartial: o.allowPartial,
-			FanOut:       o.fanout,
+			ShardTimeout:     st,
+			AllowPartial:     o.allowPartial,
+			FanOut:           o.fanout,
+			MaxRetries:       mr,
+			RetryBudget:      rb,
+			RetryRatio:       o.retryRatio,
+			HedgeAfter:       o.hedgeAfter,
+			BreakerThreshold: o.breakerThreshold,
+			BreakerCooldown:  o.breakerCooldown,
+			ProbeInterval:    pi,
 		})
-		fmt.Fprintf(out, "coordinating %d shards\n", len(urls))
+		defer coord.Close()
+		fmt.Fprintf(out, "coordinating %d shards (%d replicas)\n", coord.NumShards(), coord.NumBackends())
 		return server.Run(ctx, o.addr, coord, server.RunConfig{
 			ReadTimeout:     o.readTimeout,
 			WriteTimeout:    o.writeTimeout,

@@ -1,0 +1,175 @@
+// Package faultproxy is a deterministic fault-injection reverse proxy for
+// tests and smoke scripts. It sits in front of one backend and consults a
+// user-supplied script on every request: the script sees the per-path
+// request index (0-based, counted independently for each URL path so
+// health-probe traffic never perturbs the fault schedule of search
+// traffic) and decides whether to delay, fail with a status, reset the
+// connection, or hang until the proxy is closed.
+//
+// Because the schedule is keyed on request indices rather than timing,
+// fault tests are reproducible: "the 3rd /shard/search request gets a 503
+// burst" means the same thing on every run.
+package faultproxy
+
+import (
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Fault is what the script injects into one request. The zero value
+// passes the request through untouched.
+type Fault struct {
+	// Delay stalls the request before anything else happens.
+	Delay time.Duration
+	// Status, when non-zero, answers with that status code (plus a short
+	// body) instead of proxying.
+	Status int
+	// Reset abruptly closes the TCP connection without writing a
+	// response — the client sees a connection reset / EOF.
+	Reset bool
+	// Hang holds the connection open without responding until the proxy
+	// is closed (simulates a wedged backend; pair with client timeouts).
+	Hang bool
+}
+
+// Script decides the fault for one request. i is the 0-based index of
+// this request among requests to the same URL path.
+type Script func(i int, r *http.Request) Fault
+
+// Proxy is a fault-injecting reverse proxy in front of one backend.
+type Proxy struct {
+	ln     net.Listener
+	srv    *http.Server
+	rp     *httputil.ReverseProxy
+	script Script
+
+	mu     sync.Mutex
+	counts map[string]int
+	total  int
+
+	closed chan struct{} // released hangs on Close
+}
+
+// New starts a proxy listening on a random loopback port, forwarding to
+// target (a base URL such as "http://127.0.0.1:8081"). script may be nil
+// (everything passes through). Close must be called to free the port.
+func New(target string, script Script) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		rp:     httputil.NewSingleHostReverseProxy(u),
+		script: script,
+		counts: make(map[string]int),
+		closed: make(chan struct{}),
+	}
+	// Swallow proxy errors for requests the client already abandoned
+	// (hedge losers cancel mid-flight); answer 502 otherwise.
+	p.rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		select {
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	p.rp.ErrorLog = nil
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	i := p.counts[r.URL.Path]
+	p.counts[r.URL.Path] = i + 1
+	p.total++
+	p.mu.Unlock()
+
+	var f Fault
+	if p.script != nil {
+		f = p.script(i, r)
+	}
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-p.closed:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch {
+	case f.Reset:
+		hijackClose(w)
+		return
+	case f.Hang:
+		// Hold until the proxy is closed or the client gives up, then
+		// drop the connection without a response.
+		select {
+		case <-p.closed:
+		case <-r.Context().Done():
+		}
+		hijackClose(w)
+		return
+	case f.Status != 0:
+		http.Error(w, "faultproxy: injected fault", f.Status)
+		return
+	}
+	p.rp.ServeHTTP(w, r)
+}
+
+// hijackClose takes over the connection and closes it raw, so the client
+// sees a reset/EOF instead of a well-formed HTTP response.
+func hijackClose(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Can't hijack (e.g. HTTP/2): the best approximation is an
+		// empty 502.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	_ = buf.Flush()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// SO_LINGER 0 turns the close into a hard RST.
+		_ = tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// URL returns the proxy's base URL, e.g. "http://127.0.0.1:49201".
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Requests returns how many requests have arrived for the given path.
+func (p *Proxy) Requests(path string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[path]
+}
+
+// Total returns how many requests have arrived across all paths.
+func (p *Proxy) Total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Close releases hung requests and shuts the proxy down.
+func (p *Proxy) Close() {
+	close(p.closed)
+	p.srv.Close()
+}

@@ -1,0 +1,196 @@
+package faultproxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok:"+r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, client *http.Client, url string) (int, string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(b), nil
+}
+
+func TestPassThrough(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	status, body, err := get(t, http.DefaultClient, p.URL()+"/a")
+	if err != nil || status != 200 || body != "ok:/a" {
+		t.Fatalf("pass-through: status %d body %q err %v", status, body, err)
+	}
+}
+
+// TestScriptedStatusByIndex: faults key on the per-path request index, so
+// the same schedule replays identically and other paths don't disturb it.
+func TestScriptedStatusByIndex(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, func(i int, r *http.Request) Fault {
+		if r.URL.Path == "/search" && i == 1 {
+			return Fault{Status: http.StatusInternalServerError}
+		}
+		return Fault{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	wantStatus := []int{200, 500, 200}
+	for n, want := range wantStatus {
+		// Interleave /healthz traffic: it must not consume /search indices.
+		if status, _, err := get(t, http.DefaultClient, p.URL()+"/healthz"); err != nil || status != 200 {
+			t.Fatalf("healthz %d: status %d err %v", n, status, err)
+		}
+		status, _, err := get(t, http.DefaultClient, p.URL()+"/search")
+		if err != nil || status != want {
+			t.Fatalf("search %d: status %d err %v, want %d", n, status, err, want)
+		}
+	}
+	if got := p.Requests("/search"); got != 3 {
+		t.Fatalf("Requests(/search) = %d, want 3", got)
+	}
+	if got := p.Requests("/healthz"); got != 3 {
+		t.Fatalf("Requests(/healthz) = %d, want 3", got)
+	}
+	if got := p.Total(); got != 6 {
+		t.Fatalf("Total() = %d, want 6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, func(i int, r *http.Request) Fault {
+		return Fault{Reset: i == 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, _, err := get(t, http.DefaultClient, p.URL()+"/x"); err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	// The next request (index 1) passes.
+	status, body, err := get(t, http.DefaultClient, p.URL()+"/x")
+	if err != nil || status != 200 || body != "ok:/x" {
+		t.Fatalf("post-reset: status %d body %q err %v", status, body, err)
+	}
+}
+
+func TestHangRespectsClientTimeout(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, func(i int, r *http.Request) Fault {
+		return Fault{Hang: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	if _, _, err := get(t, client, p.URL()+"/x"); err == nil {
+		t.Fatal("hang fault produced a response")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hang ignored the client timeout (took %v)", elapsed)
+	}
+}
+
+// TestHangReleasedByClose: Close must release hung connections so tests
+// can't leak goroutines waiting on the proxy.
+func TestHangReleasedByClose(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, func(i int, r *http.Request) Fault {
+		return Fault{Hang: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := get(t, &http.Client{}, p.URL()+"/x")
+		done <- err
+	}()
+	// Let the request reach the proxy, then close it out from under the
+	// hung handler.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Requests("/x") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	p.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hung request completed cleanly after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the hung request")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	ts := backend(t)
+	p, err := New(ts.URL, func(i int, r *http.Request) Fault {
+		return Fault{Delay: 80 * time.Millisecond}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	status, body, err := get(t, http.DefaultClient, p.URL()+"/x")
+	if err != nil || status != 200 || body != "ok:/x" {
+		t.Fatalf("delayed request: status %d body %q err %v", status, body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delay not applied (took %v)", elapsed)
+	}
+}
+
+// TestPostBodyForwarded: POST bodies survive the proxy — the coordinator
+// speaks POST /shard/search.
+func TestPostBodyForwarded(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		w.Write(b)
+	}))
+	defer ts.Close()
+	p, err := New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	resp, err := http.Post(p.URL()+"/shard/search", "application/json", strings.NewReader(`{"q":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != `{"q":"x"}` {
+		t.Fatalf("body round-trip = %q", b)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"ctxsearch/internal/cache"
 	"ctxsearch/internal/par"
+	"ctxsearch/internal/resilience"
 	"ctxsearch/internal/shard"
 	"ctxsearch/internal/topk"
 )
@@ -26,19 +27,51 @@ import (
 // request still has budget to carry the answer.
 const DefaultShardTimeout = time.Second
 
-// ShardConfig tunes the coordinator's fan-out behaviour.
+// DefaultMaxRetries is how many times a failed range call is retried on
+// another (or, with one replica, the same) backend before giving up.
+const DefaultMaxRetries = 2
+
+// ShardConfig tunes the coordinator's fan-out and resilience behaviour.
 type ShardConfig struct {
-	// ShardTimeout bounds each per-shard sub-request
-	// (0 = DefaultShardTimeout, negative = no per-shard deadline — the
-	// request deadline still applies).
+	// ShardTimeout bounds each per-replica sub-request — each retry and
+	// hedge gets a fresh allowance (0 = DefaultShardTimeout, negative = no
+	// per-attempt deadline — the request deadline still applies).
 	ShardTimeout time.Duration
 	// AllowPartial serves a degraded page flagged "partial": true when some
-	// shards fail, instead of a 503. Client errors (a shard's 400) are
+	// shard ranges fail, instead of a 503. Client errors (a shard's 400) are
 	// always relayed, never degraded around.
 	AllowPartial bool
-	// FanOut caps concurrent shard sub-requests per query (0 = all shards
+	// FanOut caps concurrent range sub-requests per query (0 = all ranges
 	// at once).
 	FanOut int
+
+	// MaxRetries caps retry attempts per range call, on top of the first
+	// attempt (0 = DefaultMaxRetries, negative = no retries). Each retry
+	// prefers a replica not yet tried and must be covered by the retry
+	// budget.
+	MaxRetries int
+	// RetryBudget is the retry token bucket's capacity (0 =
+	// resilience.DefaultBudgetCapacity, negative = unbounded retries — for
+	// tests only). RetryRatio is the per-request deposit (0 =
+	// resilience.DefaultBudgetRatio).
+	RetryBudget float64
+	RetryRatio  float64
+	// HedgeAfter, when positive, fires a hedge request to a second replica
+	// if the first has not answered within this delay, taking whichever
+	// succeeds first and cancelling the loser. Hedges draw from the retry
+	// budget. Zero disables hedging.
+	HedgeAfter time.Duration
+	// BreakerThreshold and BreakerCooldown tune the per-backend circuit
+	// breakers (0 = resilience defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval is the active health-probe period per backend (0 =
+	// resilience.DefaultProbeInterval, negative = no prober — every backend
+	// is assumed healthy).
+	ProbeInterval time.Duration
+	// Backoff spaces retries out (zero value = resilience defaults; set
+	// Jitter negative for deterministic delays in tests).
+	Backoff resilience.Backoff
 }
 
 func (c ShardConfig) shardTimeout() time.Duration {
@@ -51,43 +84,89 @@ func (c ShardConfig) shardTimeout() time.Duration {
 	return c.ShardTimeout
 }
 
+func (c ShardConfig) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
 // Coordinator is the multi-process scatter-gather front: a stateless
 // http.Handler that fans /search out to shard servers' POST /shard/search,
 // merges the rendered pages exactly (the healthy-path body is
 // byte-identical to a single-engine server's), and proxies the per-paper
-// endpoints to the shards round-robin. It holds no corpus state at all —
-// it can boot instantly and restart freely.
+// endpoints to the backends. It holds no corpus state at all — it can boot
+// instantly and restart freely.
+//
+// Each shard range may be served by several replicas (all built from the
+// same deterministic artifact, so any replica's page is byte-identical).
+// The resilience layer stacks four mechanisms around replica calls:
+//
+//   - a circuit breaker per backend trips after consecutive failures and
+//     stops sending until a cool-down probe succeeds, so a dead replica
+//     costs at most a handful of requests, not one per query;
+//   - failed range calls retry on the next replica with exponential
+//     backoff, governed by a global retry token budget that bounds retry
+//     amplification during outages (R requests can add at most
+//     capacity + R·ratio retries);
+//   - optional hedging races a second replica when the first is slow;
+//   - an active health prober feeds breaker state so recovery is detected
+//     without sacrificing user queries.
 //
 // Failure policy: a shard that answers 400 fails the query with that 400
-// (bad queries are deterministic across shards). A shard that times out,
-// refuses connections or answers 5xx either fails the query with 503
-// (default) or, with ShardConfig.AllowPartial, degrades it into a page
-// flagged "partial": true computed from the healthy shards. Partial pages
-// are never cached, so a recovered shard immediately restores exact
-// answers. Every sub-request is bounded by ShardTimeout — a dead or hung
-// shard can delay a query by at most that, never hang it.
+// (bad queries are deterministic across shards). A range whose replicas
+// all fail either fails the query with 503 (default) or, with
+// ShardConfig.AllowPartial, degrades it into a page flagged "partial":
+// true computed from the healthy ranges. Partial pages are never cached,
+// so a recovered range immediately restores exact answers. Every attempt
+// is bounded by ShardTimeout — a dead or hung replica can delay a query,
+// never hang it.
 type Coordinator struct {
 	cfg      Config
 	scfg     ShardConfig
 	logger   *log.Logger
-	urls     []string
-	client   *http.Client
 	handler  http.Handler
 	inflight chan struct{}
-	// cache mirrors the Server's /search body cache. Only exact (all-shard)
+	// cache mirrors the Server's /search body cache. Only exact (all-range)
 	// responses are inserted; see errPartial.
 	cache   *cache.Cache[[]byte]
 	metrics *shard.Metrics
-	// rr distributes proxied single-shard requests (/contexts,
-	// /papers/{id}, /stats) across shards. Every shard holds the full
-	// corpus-global system state, so any shard answers these exactly.
-	rr atomic.Uint64
+
+	// backends is the flat list of replica base URLs; ranges[ri] lists the
+	// backend indices replicating range ri; rangeOf inverts that.
+	backends []string
+	ranges   [][]int
+	rangeOf  []int
+
+	client   *http.Client
+	breakers []*resilience.Breaker
+	budget   *resilience.Budget // nil = unbounded (RetryBudget < 0)
+	backoff  resilience.Backoff
+	prober   *resilience.Prober // nil = probing disabled
+
+	// retryAfter is the Retry-After hint on backend-unavailable 503s: the
+	// longer of the per-attempt timeout and the breaker cool-down — the
+	// soonest a retry could plausibly see a recovered backend.
+	retryAfter string
+
+	// rr distributes proxied single-backend requests (/contexts,
+	// /papers/{id}, /stats) across all backends. Every backend holds the
+	// full corpus-global system state, so any backend answers these
+	// exactly. replicaRR rotates the preferred replica within each range.
+	rr        atomic.Uint64
+	replicaRR []atomic.Uint64
 }
 
-// NewCoordinator assembles a coordinator over the given shard base URLs
-// (e.g. "http://127.0.0.1:8101"). The middleware stack matches the
-// single-engine server's: request deadline, load shedding, panic recovery
-// and request logging, with /healthz and /readyz exempt from shedding.
+// NewCoordinator assembles a coordinator over the given shard range URLs.
+// Each element serves one contiguous paper range and may list several
+// replica base URLs separated by "|" (e.g.
+// "http://127.0.0.1:8101|http://127.0.0.1:8201"). The middleware stack
+// matches the single-engine server's: request deadline, load shedding,
+// panic recovery and request logging, with /healthz and /readyz exempt
+// from shedding. Close must be called to stop the health prober.
 func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
 	if len(urls) == 0 {
 		panic("server: NewCoordinator needs at least one shard URL")
@@ -96,12 +175,24 @@ func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
 		cfg:     cfg,
 		scfg:    scfg,
 		logger:  cfg.Logger,
-		urls:    make([]string, len(urls)),
 		client:  &http.Client{},
-		metrics: shard.NewMetrics(len(urls)),
+		backoff: scfg.Backoff,
 	}
-	for i, u := range urls {
-		c.urls[i] = strings.TrimRight(u, "/")
+	for ri, group := range urls {
+		var members []int
+		for _, u := range strings.Split(group, "|") {
+			u = strings.TrimSpace(strings.TrimRight(u, "/"))
+			if u == "" {
+				continue
+			}
+			members = append(members, len(c.backends))
+			c.backends = append(c.backends, u)
+			c.rangeOf = append(c.rangeOf, ri)
+		}
+		if len(members) == 0 {
+			panic("server: NewCoordinator range with no replica URLs")
+		}
+		c.ranges = append(c.ranges, members)
 	}
 	if c.logger == nil {
 		c.logger = log.New(io.Discard, "", 0)
@@ -110,6 +201,38 @@ func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
 		c.inflight = make(chan struct{}, n)
 	}
 	c.cache = cache.New[[]byte](cfg.cacheEntries(), cfg.cacheTTL())
+	c.metrics = shard.NewMetricsReplicated(len(c.ranges), c.rangeOf)
+	c.replicaRR = make([]atomic.Uint64, len(c.ranges))
+
+	if scfg.RetryBudget >= 0 {
+		c.budget = resilience.NewBudget(resilience.BudgetConfig{
+			Capacity: scfg.RetryBudget,
+			Ratio:    scfg.RetryRatio,
+		})
+	}
+	c.breakers = make([]*resilience.Breaker, len(c.backends))
+	for g := range c.backends {
+		c.breakers[g] = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: scfg.BreakerThreshold,
+			Cooldown:         scfg.BreakerCooldown,
+			OnOpen:           c.metrics.ObserveBreakerOpen,
+		})
+	}
+	if scfg.ProbeInterval >= 0 {
+		c.prober = resilience.NewProber(c.backends, resilience.ProberConfig{
+			Interval: scfg.ProbeInterval,
+			OnProbe:  c.onProbe,
+		}, c.client)
+	}
+	cooldown := resilience.DefaultCooldown
+	if scfg.BreakerCooldown > 0 {
+		cooldown = scfg.BreakerCooldown
+	}
+	hint := c.scfg.shardTimeout()
+	if cooldown > hint {
+		hint = cooldown
+	}
+	c.retryAfter = retryAfterSecs(hint)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", c.handleSearch)
@@ -122,7 +245,7 @@ func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
 	})
 	mux.HandleFunc("GET /readyz", c.handleReadyz)
 
-	api := withShedding(c.inflight, withTimeout(cfg.queryTimeout(), mux))
+	api := withShedding(c.inflight, retryAfterSecs(cfg.queryTimeout()), withTimeout(cfg.queryTimeout(), mux))
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/healthz", "/readyz":
@@ -135,8 +258,43 @@ func NewCoordinator(urls []string, cfg Config, scfg ShardConfig) *Coordinator {
 	return c
 }
 
-// NumShards returns the number of shard backends.
-func (c *Coordinator) NumShards() int { return len(c.urls) }
+// Close stops the health prober's goroutines. Safe to call on a
+// coordinator without one.
+func (c *Coordinator) Close() {
+	if c.prober != nil {
+		c.prober.Close()
+	}
+}
+
+// onProbe feeds one health-probe verdict into the backend's breaker. A
+// failed probe always counts (probes alone trip the breaker of a dead
+// replica, before any query pays for the discovery). A successful probe
+// only counts while the breaker is not closed — in the closed state it
+// must not reset the consecutive-failure count, or a backend whose
+// /healthz answers while /shard/search fails would never trip. For an
+// open breaker past its cool-down, the probe itself performs the
+// half-open transition, so recovery never costs a user query.
+func (c *Coordinator) onProbe(g int, ok bool) {
+	b := c.breakers[g]
+	if !ok {
+		b.Record(false)
+		return
+	}
+	if b.State() != resilience.Closed && b.Allow() {
+		b.Record(true)
+	}
+}
+
+// healthy reports the prober's latest verdict (true when probing is off).
+func (c *Coordinator) healthy(g int) bool {
+	return c.prober == nil || c.prober.Healthy(g)
+}
+
+// NumShards returns the number of shard ranges.
+func (c *Coordinator) NumShards() int { return len(c.ranges) }
+
+// NumBackends returns the number of physical replicas across all ranges.
+func (c *Coordinator) NumBackends() int { return len(c.backends) }
 
 // Metrics returns the coordinator's fan-out counters.
 func (c *Coordinator) Metrics() *shard.Metrics { return c.metrics }
@@ -146,9 +304,10 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.handler.ServeHTTP(w, r)
 }
 
-// shardCallError is one failed shard sub-request. status is the shard's
-// HTTP status when a response arrived (0 for transport failures); body
-// carries the shard's error payload for relaying client errors.
+// shardCallError is one failed range call. shard is the range index;
+// status is the backend's HTTP status when a response arrived (0 for
+// transport failures); body carries the backend's error payload for
+// relaying client errors.
 type shardCallError struct {
 	shard  int
 	status int
@@ -165,6 +324,10 @@ func (e *shardCallError) Error() string {
 
 func (e *shardCallError) Unwrap() error { return e.err }
 
+// errAllReplicasDown marks a range call that found no admissible replica:
+// every breaker for the range is open and still cooling down.
+var errAllReplicasDown = errors.New("all replicas unavailable (circuit open)")
+
 // errPartial smuggles a degraded response body through cache.Do, which
 // never caches loads that return an error — exactly the behaviour partial
 // pages need (a recovered shard must not be masked by a cached degraded
@@ -173,17 +336,103 @@ type errPartial struct{ body []byte }
 
 func (*errPartial) Error() string { return "partial response" }
 
-// callShard runs one POST /shard/search sub-request under the per-shard
-// deadline and decodes the page.
-func (c *Coordinator) callShard(ctx context.Context, i int, payload []byte) ([]SearchResult, *shardCallError) {
+// budgetWithdraw asks the retry budget for one token (always granted when
+// the budget is disabled).
+func (c *Coordinator) budgetWithdraw() bool {
+	return c.budget == nil || c.budget.Withdraw()
+}
+
+// sleepCtx waits d, or less if ctx ends first (returning its error).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// pickReplica selects the replica of range ri for the next attempt,
+// skipping already-tried backends. Preference order: healthy backends the
+// breaker admits, then unhealthy ones it admits (when the prober has
+// marked everything down, trying is still better than refusing — probes
+// can be stale). Selection rotates per range so load spreads across
+// replicas. A backend whose breaker refuses is never picked; if that
+// leaves nothing, the range is reported down (false).
+func (c *Coordinator) pickReplica(ri int, tried map[int]bool) (int, bool) {
+	reps := c.ranges[ri]
+	n := len(reps)
+	start := int(c.replicaRR[ri].Add(1)-1) % n
+	// Pass 1: healthy and admitted. Allow() has side effects (it admits
+	// half-open probes), so each breaker is consulted at most once across
+	// both passes.
+	for k := 0; k < n; k++ {
+		g := reps[(start+k)%n]
+		if tried[g] || !c.healthy(g) {
+			continue
+		}
+		if c.breakers[g].Allow() {
+			return g, true
+		}
+	}
+	// Pass 2: the backends pass 1 skipped for health.
+	for k := 0; k < n; k++ {
+		g := reps[(start+k)%n]
+		if tried[g] || c.healthy(g) {
+			continue
+		}
+		if c.breakers[g].Allow() {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+// callReplica runs one POST /shard/search attempt against backend g under
+// a fresh per-attempt deadline, decodes the page, and folds the outcome
+// into the backend's breaker and replica counters. A cancelled attempt
+// (hedge loser, abandoned client) is never recorded into the breaker — a
+// cancellation says nothing about the backend.
+func (c *Coordinator) callReplica(ctx context.Context, ri, g int, payload []byte) ([]SearchResult, *shardCallError) {
+	rows, cerr := c.doShardSearch(ctx, ri, g, payload)
+	canceled := cerr != nil && errors.Is(ctx.Err(), context.Canceled)
+	switch {
+	case canceled:
+		c.metrics.ObserveReplica(g, context.Canceled)
+	case cerr == nil:
+		c.metrics.ObserveReplica(g, nil)
+		c.breakers[g].Record(true)
+	case cerr.status >= 400 && cerr.status < 500:
+		// A client error means the backend is alive and answering; it is a
+		// property of the query, not the replica.
+		c.metrics.ObserveReplica(g, nil)
+		c.breakers[g].Record(true)
+	default:
+		err := cerr.err
+		if err == nil {
+			err = fmt.Errorf("status %d", cerr.status)
+		}
+		c.metrics.ObserveReplica(g, err)
+		c.breakers[g].Record(false)
+	}
+	return rows, cerr
+}
+
+// doShardSearch is the bare HTTP exchange of one attempt.
+func (c *Coordinator) doShardSearch(ctx context.Context, ri, g int, payload []byte) ([]SearchResult, *shardCallError) {
 	if d := c.scfg.shardTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.urls[i]+"/shard/search", bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.backends[g]+"/shard/search", bytes.NewReader(payload))
 	if err != nil {
-		return nil, &shardCallError{shard: i, err: err}
+		return nil, &shardCallError{shard: ri, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
@@ -193,7 +442,7 @@ func (c *Coordinator) callShard(ctx context.Context, i int, payload []byte) ([]S
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			err = ctxErr
 		}
-		return nil, &shardCallError{shard: i, err: err}
+		return nil, &shardCallError{shard: ri, err: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -201,16 +450,139 @@ func (c *Coordinator) callShard(ctx context.Context, i int, payload []byte) ([]S
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			err = ctxErr
 		}
-		return nil, &shardCallError{shard: i, err: err}
+		return nil, &shardCallError{shard: ri, err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, &shardCallError{shard: i, status: resp.StatusCode, body: body}
+		return nil, &shardCallError{shard: ri, status: resp.StatusCode, body: body}
 	}
 	var page ShardSearchResponse
 	if err := json.Unmarshal(body, &page); err != nil {
-		return nil, &shardCallError{shard: i, err: fmt.Errorf("bad shard response: %w", err)}
+		return nil, &shardCallError{shard: ri, err: fmt.Errorf("bad shard response: %w", err)}
 	}
 	return page.Results, nil
+}
+
+// callAttempt runs one (possibly hedged) attempt for range ri, marking
+// every backend it touches in tried. Without hedging it is a single
+// replica call. With hedging, if the primary has not answered within
+// HedgeAfter and the budget covers it, a second replica races it: the
+// first success wins and the loser is cancelled.
+func (c *Coordinator) callAttempt(ctx context.Context, ri int, tried map[int]bool, payload []byte) ([]SearchResult, *shardCallError) {
+	g, ok := c.pickReplica(ri, tried)
+	if !ok && len(tried) > 0 {
+		// Every replica has been tried this call: a retry may revisit them
+		// (with one replica per range, retrying means retrying it).
+		for k := range tried {
+			delete(tried, k)
+		}
+		g, ok = c.pickReplica(ri, tried)
+	}
+	if !ok {
+		return nil, &shardCallError{shard: ri, err: errAllReplicasDown}
+	}
+	tried[g] = true
+	if c.scfg.HedgeAfter <= 0 || len(c.ranges[ri]) < 2 {
+		return c.callReplica(ctx, ri, g, payload)
+	}
+
+	type outcome struct {
+		rows   []SearchResult
+		err    *shardCallError
+		hedged bool
+	}
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	ch := make(chan outcome, 2)
+	go func() {
+		rows, err := c.callReplica(actx, ri, g, payload)
+		ch <- outcome{rows, err, false}
+	}()
+
+	timer := time.NewTimer(c.scfg.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		// Primary resolved before the hedge delay: no hedge needed.
+		return o.rows, o.err
+	case <-ctx.Done():
+		return nil, &shardCallError{shard: ri, err: ctx.Err()}
+	case <-timer.C:
+	}
+
+	// Primary is slow. Fire a hedge if a fresh replica and budget exist;
+	// otherwise keep waiting on the primary alone.
+	g2, ok2 := c.pickReplica(ri, tried)
+	if !ok2 || !c.budgetWithdraw() {
+		select {
+		case o := <-ch:
+			return o.rows, o.err
+		case <-ctx.Done():
+			return nil, &shardCallError{shard: ri, err: ctx.Err()}
+		}
+	}
+	tried[g2] = true
+	go func() {
+		rows, err := c.callReplica(actx, ri, g2, payload)
+		ch <- outcome{rows, err, true}
+	}()
+
+	var lastErr *shardCallError
+	for i := 0; i < 2; i++ {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				cancelAll() // the loser stops; its cancel is not recorded
+				c.metrics.ObserveHedge(o.hedged)
+				return o.rows, nil
+			}
+			lastErr = o.err
+		case <-ctx.Done():
+			return nil, &shardCallError{shard: ri, err: ctx.Err()}
+		}
+	}
+	c.metrics.ObserveHedge(false)
+	return nil, lastErr
+}
+
+// callRange resolves range ri: a first attempt plus up to MaxRetries
+// budget-covered retries with exponential backoff, each attempt preferring
+// a replica not yet tried. Client errors (4xx) and cancellations are
+// returned immediately — retrying them is waste.
+func (c *Coordinator) callRange(ctx context.Context, ri int, payload []byte) ([]SearchResult, *shardCallError) {
+	if c.budget != nil {
+		c.budget.Deposit()
+	}
+	tried := make(map[int]bool)
+	var lastErr *shardCallError
+	fails := 0
+	for attempt := 0; attempt <= c.scfg.maxRetries(); attempt++ {
+		if attempt > 0 {
+			if !c.budgetWithdraw() {
+				c.metrics.ObserveRetryDenied()
+				break
+			}
+			c.metrics.ObserveRetry()
+			if err := sleepCtx(ctx, c.backoff.Delay(attempt, nil)); err != nil {
+				return nil, &shardCallError{shard: ri, err: err}
+			}
+		}
+		rows, cerr := c.callAttempt(ctx, ri, tried, payload)
+		if cerr == nil {
+			if fails > 0 {
+				c.metrics.ObserveFailover()
+			}
+			return rows, nil
+		}
+		lastErr = cerr
+		if cerr.status >= 400 && cerr.status < 500 {
+			return nil, cerr // deterministic client error: never retry
+		}
+		if ctx.Err() != nil {
+			return nil, cerr // the request itself is over
+		}
+		fails++
+	}
+	return nil, lastErr
 }
 
 // worseRow orders rendered rows exactly as search.WorseResult orders engine
@@ -250,11 +622,11 @@ func (c *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// buildSearchResponse fans one query out to every shard and merges. The
-// returned error is either a *shardCallError / pipeline error (request
+// buildSearchResponse fans one query out to every shard range and merges.
+// The returned error is either a *shardCallError / pipeline error (request
 // failed) or *errPartial (degraded body that must bypass the cache).
 func (c *Coordinator) buildSearchResponse(ctx context.Context, p searchParams) ([]byte, error) {
-	// The scatter transformation: every shard returns its own top
+	// The scatter transformation: every range returns its own top
 	// offset+limit rows; the offset is applied after the merge.
 	// parseSearchParams guarantees limit >= 1.
 	k := p.opts.Offset + p.opts.Limit
@@ -267,18 +639,18 @@ func (c *Coordinator) buildSearchResponse(ctx context.Context, p searchParams) (
 	if err != nil {
 		return nil, err
 	}
-	n := len(c.urls)
+	n := len(c.ranges)
 	pages := make([][]SearchResult, n)
 	errs := make([]*shardCallError, n)
 	var maxShard shard.AtomicMaxDuration
-	par.For(n, c.scfg.FanOut, func(i int) {
+	par.For(n, c.scfg.FanOut, func(ri int) {
 		t0 := time.Now()
-		pages[i], errs[i] = c.callShard(ctx, i, payload)
+		pages[ri], errs[ri] = c.callRange(ctx, ri, payload)
 		maxShard.Observe(time.Since(t0))
-		if errs[i] != nil {
-			c.metrics.ObserveShard(i, errs[i])
+		if errs[ri] != nil {
+			c.metrics.ObserveShard(ri, errs[ri])
 		} else {
-			c.metrics.ObserveShard(i, nil)
+			c.metrics.ObserveShard(ri, nil)
 		}
 	})
 
@@ -335,8 +707,10 @@ func (c *Coordinator) buildSearchResponse(ctx context.Context, p searchParams) (
 }
 
 // writeShardErr maps a failed scatter-gather to a response: relayed client
-// errors keep the shard's status and body, everything else (timeouts, dead
-// shards, 5xx) is a 503 — the coordinator is healthy, the backend is not.
+// errors keep the backend's status and body, everything else (timeouts,
+// dead backends, 5xx, tripped breakers) is a 503 with a Retry-After
+// derived from the shard timeout and breaker cool-down — the coordinator
+// is healthy, the backend is not.
 func (c *Coordinator) writeShardErr(w http.ResponseWriter, r *http.Request, err error) {
 	var sce *shardCallError
 	if errors.As(err, &sce) {
@@ -346,13 +720,17 @@ func (c *Coordinator) writeShardErr(w http.ResponseWriter, r *http.Request, err 
 			_, _ = w.Write(sce.body)
 			return
 		}
+		if errors.Is(sce.err, context.Canceled) {
+			c.logger.Printf("client abandoned %s %s", r.Method, r.URL.Path)
+			return
+		}
 		c.logger.Printf("shard failure on %s %s: %v", r.Method, r.URL.Path, sce)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", c.retryAfter)
 		writeErr(w, http.StatusServiceUnavailable, "shard %d unavailable", sce.shard)
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSecs(c.cfg.queryTimeout()))
 		writeErr(w, http.StatusServiceUnavailable, "query deadline exceeded")
 		return
 	}
@@ -363,18 +741,71 @@ func (c *Coordinator) writeShardErr(w http.ResponseWriter, r *http.Request, err 
 	writeErr(w, http.StatusBadGateway, "shard backend error: %v", err)
 }
 
-// handleProxy forwards a single-shard request (round-robin) and relays the
-// response verbatim. Every shard holds the full corpus, so these endpoints
-// are exact from any one of them.
+// proxyOrder returns all backends in round-robin order, healthy ones
+// first — the candidate sequence for proxied single-backend requests.
+func (c *Coordinator) proxyOrder() []int {
+	n := len(c.backends)
+	start := int(c.rr.Add(1)-1) % n
+	order := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		if g := (start + k) % n; c.healthy(g) {
+			order = append(order, g)
+		}
+	}
+	for k := 0; k < n; k++ {
+		if g := (start + k) % n; !c.healthy(g) {
+			order = append(order, g)
+		}
+	}
+	return order
+}
+
+// proxyFetch runs one GET against the candidate backends in order,
+// failing over past dead, erroring or breaker-rejected ones. A 2xx–4xx
+// response is final (a 404 paper is a 404 from every backend); 5xx and
+// transport errors move on. Outcomes feed breakers and replica counters;
+// proxied failover is bounded by the backend count and does not draw from
+// the retry budget.
+func (c *Coordinator) proxyFetch(ctx context.Context, uri string) (int, http.Header, []byte, *shardCallError) {
+	var lastErr *shardCallError
+	for _, g := range c.proxyOrder() {
+		if !c.breakers[g].Allow() {
+			continue
+		}
+		status, hdr, body, err := c.fetch(ctx, g, uri)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			return 0, nil, nil, &shardCallError{shard: c.rangeOf[g], err: ctx.Err()}
+		}
+		switch {
+		case err == nil && status < 500:
+			c.metrics.ObserveReplica(g, nil)
+			c.breakers[g].Record(true)
+			return status, hdr, body, nil
+		case err == nil:
+			c.metrics.ObserveReplica(g, fmt.Errorf("status %d", status))
+			c.breakers[g].Record(false)
+			lastErr = &shardCallError{shard: c.rangeOf[g], status: status, body: body}
+		default:
+			c.metrics.ObserveReplica(g, err)
+			c.breakers[g].Record(false)
+			lastErr = &shardCallError{shard: c.rangeOf[g], err: err}
+		}
+	}
+	if lastErr == nil {
+		lastErr = &shardCallError{err: errAllReplicasDown}
+	}
+	return 0, nil, nil, lastErr
+}
+
+// handleProxy forwards a single-backend request and relays the response
+// verbatim, failing over across every backend (each holds the full
+// corpus, so these endpoints are exact from any one of them).
 func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
-	i := int(c.rr.Add(1)-1) % len(c.urls)
-	status, hdr, body, err := c.fetch(r.Context(), i, r.URL.RequestURI())
-	if err != nil {
-		c.metrics.ObserveShard(i, err)
-		c.writeShardErr(w, r, &shardCallError{shard: i, err: err})
+	status, hdr, body, cerr := c.proxyFetch(r.Context(), r.URL.RequestURI())
+	if cerr != nil {
+		c.writeShardErr(w, r, cerr)
 		return
 	}
-	c.metrics.ObserveShard(i, nil)
 	if ct := hdr.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -382,14 +813,14 @@ func (c *Coordinator) handleProxy(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// fetch GETs one shard endpoint under the per-shard deadline.
-func (c *Coordinator) fetch(ctx context.Context, i int, uri string) (int, http.Header, []byte, error) {
+// fetch GETs one backend endpoint under the per-attempt deadline.
+func (c *Coordinator) fetch(ctx context.Context, g int, uri string) (int, http.Header, []byte, error) {
 	if d := c.scfg.shardTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urls[i]+uri, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.backends[g]+uri, nil)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -408,32 +839,18 @@ func (c *Coordinator) fetch(ctx context.Context, i int, uri string) (int, http.H
 	return resp.StatusCode, resp.Header, body, nil
 }
 
-// handleStats serves corpus statistics from one shard (they are global on
-// every shard) overlaid with the coordinator's own cache and fan-out
-// counters. Any shard can answer, so a failed pick falls through to the
-// next — /stats is exactly the endpoint an operator hits during a shard
-// outage, and the coordinator's own counters must stay reachable as long
-// as one shard is up.
+// handleStats serves corpus statistics from any backend (they are global
+// on every one) overlaid with the coordinator's own cache, fan-out and
+// resilience counters. /stats is exactly the endpoint an operator hits
+// during an outage, so it fails over across every backend and decorates
+// the replica counters with live breaker and health state.
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
-	start := int(c.rr.Add(1)-1) % len(c.urls)
-	var body []byte
-	var lastErr *shardCallError
-	for k := 0; k < len(c.urls); k++ {
-		i := (start + k) % len(c.urls)
-		status, _, b, err := c.fetch(r.Context(), i, "/stats")
-		if err == nil && status == http.StatusOK {
-			c.metrics.ObserveShard(i, nil)
-			body = b
-			break
-		}
-		if err == nil {
-			err = fmt.Errorf("status %d", status)
-		}
-		c.metrics.ObserveShard(i, err)
-		lastErr = &shardCallError{shard: i, status: status, err: err}
+	status, _, body, cerr := c.proxyFetch(r.Context(), "/stats")
+	if cerr == nil && status != http.StatusOK {
+		cerr = &shardCallError{status: status, body: body}
 	}
-	if body == nil {
-		c.writeShardErr(w, r, lastErr)
+	if cerr != nil {
+		c.writeShardErr(w, r, cerr)
 		return
 	}
 	var resp StatsResponse
@@ -447,28 +864,43 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.CacheCoalesced = cst.Coalesced
 	resp.CacheEntries = cst.Entries
 	snap := c.metrics.Snapshot()
+	for g := range snap.Replicas {
+		snap.Replicas[g].URL = c.backends[g]
+		snap.Replicas[g].State = c.breakers[g].State().String()
+		snap.Replicas[g].Healthy = c.healthy(g)
+	}
 	resp.Sharding = &snap
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleReadyz reports ready only when every shard's /readyz is ready — a
-// coordinator that cannot answer exactly is not ready.
+// handleReadyz reports ready only when every shard range has at least one
+// replica whose /readyz is ready — that is exactly the condition under
+// which the coordinator can still answer every query exactly.
 func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	n := len(c.urls)
-	down := make([]bool, n)
-	par.For(n, c.scfg.FanOut, func(i int) {
-		status, _, _, err := c.fetch(r.Context(), i, "/readyz")
-		down[i] = err != nil || status != http.StatusOK
+	n := len(c.backends)
+	up := make([]bool, n)
+	par.For(n, c.scfg.FanOut, func(g int) {
+		status, _, _, err := c.fetch(r.Context(), g, "/readyz")
+		up[g] = err == nil && status == http.StatusOK
 	})
-	var notReady []string
-	for i, d := range down {
-		if d {
-			notReady = append(notReady, c.urls[i])
+	var waiting []string
+	for _, reps := range c.ranges {
+		ok := false
+		for _, g := range reps {
+			if up[g] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for _, g := range reps {
+				waiting = append(waiting, c.backends[g])
+			}
 		}
 	}
-	if len(notReady) > 0 {
+	if len(waiting) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "starting", "waiting_for": notReady,
+			"status": "starting", "waiting_for": waiting,
 		})
 		return
 	}

@@ -43,7 +43,9 @@ func shardCluster(t *testing.T, n int, scfg ShardConfig) (*Coordinator, []*httpt
 		backends = append(backends, ts)
 		urls = append(urls, ts.URL)
 	}
-	return NewCoordinator(urls, Config{}, scfg), backends
+	coord := NewCoordinator(urls, Config{}, scfg)
+	t.Cleanup(coord.Close)
+	return coord, backends
 }
 
 // coordGet serves one request through the coordinator handler.
@@ -157,6 +159,7 @@ func TestCoordinatorDeadShard(t *testing.T) {
 	urls[1] = dead.URL
 	dead.Close() // now refuses connections
 	coord := NewCoordinator(urls, Config{}, ShardConfig{})
+	t.Cleanup(coord.Close)
 	rec := coordGet(t, coord, "/search?q="+urlQuery(query)+"&limit=5")
 	if rec.Code != 503 {
 		t.Fatalf("dead shard = %d, want 503: %s", rec.Code, rec.Body)
@@ -204,6 +207,7 @@ func TestCoordinatorHangingShard(t *testing.T) {
 		hang.Close()
 	})
 	coord := NewCoordinator([]string{backends[0].URL, hang.URL}, Config{}, ShardConfig{ShardTimeout: 100 * time.Millisecond})
+	t.Cleanup(coord.Close)
 	start := time.Now()
 	rec := coordGet(t, coord, "/search?q="+urlQuery(query)+"&limit=5")
 	elapsed := time.Since(start)
@@ -245,7 +249,10 @@ func TestCoordinatorPartial(t *testing.T) {
 	}))
 	t.Cleanup(flaky.Close)
 
-	coord := NewCoordinator([]string{ts0.URL, flaky.URL}, Config{}, ShardConfig{AllowPartial: true})
+	// MaxRetries is disabled: a retry would heal the one-shot 500 and
+	// never produce the partial page this test is about.
+	coord := NewCoordinator([]string{ts0.URL, flaky.URL}, Config{}, ShardConfig{AllowPartial: true, MaxRetries: -1})
+	t.Cleanup(coord.Close)
 	ref := NewPending(Config{})
 	ref.SetReadyFrozen(sys, cs, m)
 	path := "/search?q=" + urlQuery(query) + "&limit=10"
@@ -372,6 +379,7 @@ func TestCoordinatorReadyz(t *testing.T) {
 	t.Cleanup(tsPending.Close)
 
 	coord := NewCoordinator([]string{tsReady.URL, tsPending.URL}, Config{}, ShardConfig{})
+	t.Cleanup(coord.Close)
 	if rec := coordGet(t, coord, "/readyz"); rec.Code != 503 {
 		t.Fatalf("readyz with pending shard = %d", rec.Code)
 	}

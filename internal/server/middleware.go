@@ -5,6 +5,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -77,11 +78,28 @@ func withRecovery(logger *log.Logger, next http.Handler) http.Handler {
 	})
 }
 
+// retryAfterSecs renders a duration as a Retry-After header value: the
+// duration rounded up to whole seconds, floored at 1 (Retry-After: 0 tells
+// clients to hammer). It is the single source of retry hints — the shed
+// path derives it from the request deadline, the coordinator's 503s from
+// the shard timeout and breaker cool-down — so every backpressure signal
+// the server emits stays consistent with the configuration that caused it.
+func retryAfterSecs(d time.Duration) string {
+	secs := (int64(d) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // withShedding bounds concurrently served requests with a semaphore and
 // sheds the excess immediately with 429 + Retry-After — under overload a
 // fast rejection beats a queued request that will only time out later.
-// A nil semaphore disables shedding.
-func withShedding(inflight chan struct{}, next http.Handler) http.Handler {
+// retryAfter is the Retry-After value for shed responses (derive it with
+// retryAfterSecs from the request deadline: by then the requests holding
+// the semaphore have either finished or timed out). A nil semaphore
+// disables shedding.
+func withShedding(inflight chan struct{}, retryAfter string, next http.Handler) http.Handler {
 	if inflight == nil {
 		return next
 	}
@@ -91,7 +109,7 @@ func withShedding(inflight chan struct{}, next http.Handler) http.Handler {
 			defer func() { <-inflight }()
 			next.ServeHTTP(w, r)
 		default:
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter)
 			writeErr(w, http.StatusTooManyRequests, "server overloaded (%d requests in flight)", cap(inflight))
 		}
 	})

@@ -203,7 +203,7 @@ func NewPending(cfg Config) *Server {
 	// Middleware stack: probes bypass shedding and deadlines (they must
 	// answer while the API is saturated); recovery and logging wrap
 	// everything.
-	api := withShedding(s.inflight, withTimeout(s.cfg.queryTimeout(), s.mux))
+	api := withShedding(s.inflight, retryAfterSecs(s.cfg.queryTimeout()), withTimeout(s.cfg.queryTimeout(), s.mux))
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
 		case "/healthz", "/readyz":
@@ -292,7 +292,7 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSecs(s.cfg.queryTimeout()))
 		writeErr(w, http.StatusServiceUnavailable, "query deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		s.logger.Printf("client abandoned %s %s", r.Method, r.URL.Path)

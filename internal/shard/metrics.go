@@ -18,6 +18,19 @@ type Metrics struct {
 	maxShardNanos atomic.Int64
 	mergeNanos    atomic.Int64
 	shards        []shardCounters
+
+	// Resilience counters (replicated coordinator only; zero elsewhere).
+	retries       atomic.Uint64
+	retriesDenied atomic.Uint64
+	hedges        atomic.Uint64
+	hedgesWon     atomic.Uint64
+	breakerOpens  atomic.Uint64
+	failovers     atomic.Uint64
+	// replicas tracks each physical backend; rangeOf maps a backend to
+	// the shard range it replicates. nil when the topology has no
+	// replica layer (in-process Group, unreplicated coordinator paths).
+	replicas []shardCounters
+	rangeOf  []int
 }
 
 type shardCounters struct {
@@ -29,6 +42,19 @@ type shardCounters struct {
 // NewMetrics returns zeroed counters for n shards.
 func NewMetrics(n int) *Metrics {
 	return &Metrics{shards: make([]shardCounters, n)}
+}
+
+// NewMetricsReplicated returns counters for a replicated topology:
+// nRanges shard ranges served by len(rangeOf) physical backends, where
+// rangeOf[g] is the range backend g replicates. Range-level counters
+// record the outcome of each logical range call (after retries and
+// failover); replica-level counters record every physical attempt.
+func NewMetricsReplicated(nRanges int, rangeOf []int) *Metrics {
+	return &Metrics{
+		shards:   make([]shardCounters, nRanges),
+		replicas: make([]shardCounters, len(rangeOf)),
+		rangeOf:  append([]int(nil), rangeOf...),
+	}
 }
 
 // ObserveShard records one shard request and its outcome. A deadline
@@ -57,8 +83,58 @@ func (m *Metrics) ObserveSearch(maxShard, merge time.Duration) {
 // (some shard failed and the coordinator's partial policy allowed it).
 func (m *Metrics) ObservePartial() { m.partial.Add(1) }
 
+// ObserveReplica records one physical request to backend g. A cancelled
+// attempt (hedge loser, abandoned client) counts as a request but says
+// nothing about the backend, so it is neither an error nor a timeout.
+func (m *Metrics) ObserveReplica(g int, err error) {
+	c := &m.replicas[g]
+	c.requests.Add(1)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
+		c.timeouts.Add(1)
+	default:
+		c.errors.Add(1)
+	}
+}
+
+// ObserveRetry records one budget-approved retry attempt; ObserveRetryDenied
+// one the retry budget refused.
+func (m *Metrics) ObserveRetry()       { m.retries.Add(1) }
+func (m *Metrics) ObserveRetryDenied() { m.retriesDenied.Add(1) }
+
+// ObserveHedge records one fired hedge request and whether it won the race
+// (its response was the first success).
+func (m *Metrics) ObserveHedge(won bool) {
+	m.hedges.Add(1)
+	if won {
+		m.hedgesWon.Add(1)
+	}
+}
+
+// ObserveBreakerOpen records one circuit breaker tripping open.
+func (m *Metrics) ObserveBreakerOpen() { m.breakerOpens.Add(1) }
+
+// ObserveFailover records a range call that succeeded only after at least
+// one replica attempt failed.
+func (m *Metrics) ObserveFailover() { m.failovers.Add(1) }
+
 // ShardStat is one shard's counters in a Snapshot.
 type ShardStat struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+// ReplicaStat is one physical backend's counters in a Snapshot. URL,
+// State and Healthy are filled in by the coordinator (the metrics layer
+// tracks only the counters).
+type ReplicaStat struct {
+	Range    int    `json:"range"`
+	URL      string `json:"url,omitempty"`
+	State    string `json:"breaker,omitempty"`
+	Healthy  bool   `json:"healthy"`
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
 	Timeouts uint64 `json:"timeouts"`
@@ -77,6 +153,18 @@ type Snapshot struct {
 	MaxShardMicrosTotal uint64      `json:"max_shard_micros_total"`
 	MergeMicrosTotal    uint64      `json:"merge_micros_total"`
 	Shards              []ShardStat `json:"shards"`
+	// Resilience counters: budget-approved retries and budget-denied
+	// ones, hedges fired / won, breaker trips, and range calls rescued by
+	// failover. Only the replicated coordinator moves these.
+	Retries       uint64 `json:"retries,omitempty"`
+	RetriesDenied uint64 `json:"retries_denied,omitempty"`
+	Hedges        uint64 `json:"hedges,omitempty"`
+	HedgesWon     uint64 `json:"hedges_won,omitempty"`
+	BreakerOpens  uint64 `json:"breaker_opens,omitempty"`
+	Failovers     uint64 `json:"failovers,omitempty"`
+	// Replicas is the per-backend view (present only for replicated
+	// topologies).
+	Replicas []ReplicaStat `json:"replicas,omitempty"`
 }
 
 // Snapshot returns a copy of the current counters.
@@ -87,6 +175,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		MaxShardMicrosTotal: uint64(m.maxShardNanos.Load() / 1e3),
 		MergeMicrosTotal:    uint64(m.mergeNanos.Load() / 1e3),
 		Shards:              make([]ShardStat, len(m.shards)),
+		Retries:             m.retries.Load(),
+		RetriesDenied:       m.retriesDenied.Load(),
+		Hedges:              m.hedges.Load(),
+		HedgesWon:           m.hedgesWon.Load(),
+		BreakerOpens:        m.breakerOpens.Load(),
+		Failovers:           m.failovers.Load(),
 	}
 	for i := range m.shards {
 		c := &m.shards[i]
@@ -94,6 +188,18 @@ func (m *Metrics) Snapshot() Snapshot {
 			Requests: c.requests.Load(),
 			Errors:   c.errors.Load(),
 			Timeouts: c.timeouts.Load(),
+		}
+	}
+	if m.replicas != nil {
+		s.Replicas = make([]ReplicaStat, len(m.replicas))
+		for g := range m.replicas {
+			c := &m.replicas[g]
+			s.Replicas[g] = ReplicaStat{
+				Range:    m.rangeOf[g],
+				Requests: c.requests.Load(),
+				Errors:   c.errors.Load(),
+				Timeouts: c.timeouts.Load(),
+			}
 		}
 	}
 	return s

@@ -4,7 +4,11 @@
 # its limit validation with curl, then sends SIGTERM and requires a clean
 # (graceful) exit. A second phase boots a 3-shard multi-process cluster
 # (three `ctxsearch shard` processes plus a stateless coordinator) and
-# drives one search through the coordinator. Run via `make serve-smoke`.
+# drives one search through the coordinator. A third (chaos) phase boots a
+# 2-range x 2-replica cluster, kills one replica per range mid-traffic,
+# requires every search to stay byte-identical to the pre-kill baseline,
+# then restarts a replica on its recorded port and requires readiness to
+# recover. Run via `make serve-smoke`.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,6 +19,9 @@ logfile="$workdir/serve.log"
 pid=""
 extra_pids=()
 
+# cleanup kills every process this script started — on normal exit, on
+# failure, and on INT/TERM (an interrupted CI job must not leave orphan
+# shard processes holding ports).
 cleanup() {
     local p
     for p in "${extra_pids[@]:-}"; do
@@ -26,13 +33,18 @@ cleanup() {
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
+# fail dumps the tail of every process log before exiting — on a phase
+# failure the relevant evidence is at the end of whichever log has it.
 fail() {
     echo "serve-smoke: FAIL: $*" >&2
     local f
     for f in "$workdir"/*.log; do
-        echo "--- $(basename "$f") ---" >&2
-        cat "$f" >&2 || true
+        [[ -e "$f" ]] || continue
+        echo "--- $(basename "$f") (last 40 lines) ---" >&2
+        tail -n 40 "$f" >&2 || true
     done
     exit 1
 }
@@ -164,6 +176,105 @@ for p in "${extra_pids[@]}"; do
         fail "cluster process $p still running 10s after SIGTERM"
     fi
     wait "$p" || fail "cluster process $p exited non-zero after SIGTERM"
+done
+extra_pids=()
+
+echo "serve-smoke: phase 3 — chaos: 2 ranges x 2 replicas, replica kill mid-traffic"
+
+# Boot two replicas per shard range (indices 0,0,1,1). Replicas of a range
+# build identical deterministic artifacts, so any replica serves exactly
+# the same bytes for a given shard request.
+rep_pids=()
+rep_urls=()
+n=0
+for idx in 0 0 1 1; do
+    replog="$workdir/replica$n.log"
+    "$bin" -papers 300 -terms 60 -addr 127.0.0.1:0 \
+        -shard-index "$idx" -shard-count 2 shard >"$replog" 2>&1 &
+    rep_pids+=($!)
+    extra_pids+=($!)
+    n=$((n+1))
+done
+for n in 0 1 2 3; do
+    raddr="$(wait_addr "$workdir/replica$n.log" "${rep_pids[$n]}")" \
+        || fail "replica $n never listened"
+    rep_urls+=("http://$raddr")
+    echo "serve-smoke: replica $n listening on $raddr"
+done
+for n in 0 1 2 3; do
+    wait_ready "${rep_urls[$n]}" || fail "replica $n /readyz never flipped to 200"
+done
+
+# Coordinator with the replica syntax ("|" between replicas of a range),
+# caching off so every search exercises the fan-out, and fast
+# probe/breaker settings so recovery is visible within the test window.
+chaoslog="$workdir/chaoscoord.log"
+"$bin" -addr 127.0.0.1:0 -cache-entries 0 \
+    -max-retries 3 -probe-interval 100ms -breaker-cooldown 300ms \
+    -shard-urls "${rep_urls[0]}|${rep_urls[1]},${rep_urls[2]}|${rep_urls[3]}" \
+    serve >"$chaoslog" 2>&1 &
+coord_pid=$!
+extra_pids+=("$coord_pid")
+caddr="$(wait_addr "$chaoslog" "$coord_pid")" || fail "chaos coordinator never listened"
+cbase="http://$caddr"
+wait_ready "$cbase" || fail "chaos coordinator /readyz never flipped to 200"
+echo "serve-smoke: chaos cluster ready on $caddr"
+
+# Baseline page with every replica healthy.
+baseline="$(curl -s "$cbase/search?q=transcription&limit=10")"
+grep -q '"paper_id"' <<<"$baseline" || fail "chaos baseline has no result rows: $baseline"
+
+# Crash (SIGKILL, not graceful) one replica of each range mid-traffic.
+echo "serve-smoke: killing replica 0 of each range"
+for n in 0 2; do
+    kill -KILL "${rep_pids[$n]}" 2>/dev/null || true
+    wait "${rep_pids[$n]}" 2>/dev/null || true
+done
+
+# Every search after the crash must stay byte-identical to the baseline:
+# failover and retries may change which replica answers, never the page.
+for i in $(seq 1 8); do
+    body="$(curl -s "$cbase/search?q=transcription&limit=10")"
+    [[ "$body" == "$baseline" ]] \
+        || fail "search $i after replica kill diverged from baseline: $body"
+done
+echo "serve-smoke: searches byte-identical with one replica down per range"
+
+# Each range still has a live replica, so the cluster must report ready.
+wait_ready "$cbase" || fail "coordinator not ready with one live replica per range"
+
+# The per-replica table must be visible in /stats.
+curl -s "$cbase/stats" | grep -q '"replicas"' || fail "chaos /stats has no replicas table"
+
+# Restart the killed replica of range 0 on its recorded port and require
+# readiness — and identical pages — to survive the rejoin.
+raddr="${rep_urls[0]#http://}"
+echo "serve-smoke: restarting replica 0 on $raddr"
+"$bin" -papers 300 -terms 60 -addr "$raddr" \
+    -shard-index 0 -shard-count 2 shard >"$workdir/replica0b.log" 2>&1 &
+rep_pids[0]=$!
+extra_pids+=($!)
+wait_ready "${rep_urls[0]}" || fail "restarted replica never became ready"
+wait_ready "$cbase" || fail "coordinator not ready after replica rejoin"
+body="$(curl -s "$cbase/search?q=transcription&limit=10")"
+[[ "$body" == "$baseline" ]] || fail "search after replica rejoin diverged from baseline"
+echo "serve-smoke: replica rejoined, pages still byte-identical"
+
+# Drain the survivors (replica 2 of the flat list stays dead by design).
+echo "serve-smoke: SIGTERM chaos cluster"
+live_pids=("$coord_pid" "${rep_pids[0]}" "${rep_pids[1]}" "${rep_pids[3]}")
+for p in "${live_pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null || true
+done
+for p in "${live_pids[@]}"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$p" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$p" 2>/dev/null; then
+        fail "chaos process $p still running 10s after SIGTERM"
+    fi
+    wait "$p" || fail "chaos process $p exited non-zero after SIGTERM"
 done
 extra_pids=()
 
