@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-query bench-prestige bench-build bench-topk bench-shard serve-smoke
+.PHONY: verify build test vet race bench bench-query bench-prestige bench-build bench-topk bench-shard bench-store test-no-mmap serve-smoke
 
 verify: vet build test race
 
@@ -71,6 +71,18 @@ bench-topk:
 # 1 vs 4 shards.
 bench-shard:
 	$(GO) test -run xxx -bench 'BenchmarkMergePages|BenchmarkGroupSearch' -benchmem ./internal/shard/
+
+# The cold-start benchmarks behind BENCH_PR8.json: v3-gob decode vs v4
+# zero-copy mmap open (header/table-only) and full engine-ready bind, plus
+# the multi-process run that shows page sharing across replicas.
+bench-store:
+	$(GO) test -run xxx -bench 'BenchmarkOpen|BenchmarkLoad|BenchmarkSave' -benchmem ./internal/store/
+	$(GO) run ./cmd/storebench -procs 1,8
+
+# The byte-copy fallback path (mmap unavailable or disabled): the same
+# store/search/index/server suites must pass with zero-copy turned off.
+test-no-mmap:
+	CTXSEARCH_NO_MMAP=1 $(GO) test ./internal/store/ ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/server/ .
 
 # The prestige-pipeline benchmarks behind BENCH_PR3.json: the CSR-matrix
 # query merge, map-vs-matrix lookups, the arena-reusing subgraph+PageRank

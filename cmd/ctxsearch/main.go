@@ -133,6 +133,7 @@ import (
 	"ctxsearch/internal/corpus"
 	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/par"
 	"ctxsearch/internal/resilience"
 	"ctxsearch/internal/server"
 	"ctxsearch/internal/shard"
@@ -155,6 +156,9 @@ type app struct {
 	engine  *ctxsearch.Engine
 	limit   int
 	boolean bool
+	// stateFormat picks the on-disk format when compute saves -state:
+	// "v3" (gob) or "v4" (flat binary with the text index and DF table).
+	stateFormat string
 }
 
 func run(args []string, out io.Writer) error {
@@ -176,6 +180,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	limit := fs.Int("limit", 15, "max results")
 	boolean := fs.Bool("boolean", false, "treat the search query as a boolean expression (AND/OR/NOT, \"phrases\", field:term)")
 	statePath := fs.String("state", "", "context-set + scores gob file (load if present, else save)")
+	stateFormat := fs.String("state-format", "v3", "state file format when saving: v3 (gob) | v4 (flat binary, mmap-ready; also persists the text index + DF table so serve skips corpus analysis)")
 	buildWorkers := fs.Int("build-workers", 0, "offline-build parallelism (0 = GOMAXPROCS; output identical at any setting)")
 	verbose := fs.Bool("v", false, "print the offline-build timing summary")
 	addr := fs.String("addr", ":8080", "listen address for serve")
@@ -210,6 +215,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("missing command")
 	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	if *stateFormat != "v3" && *stateFormat != "v4" {
+		return fmt.Errorf("unknown -state-format %q (want v3 or v4)", *stateFormat)
+	}
 
 	cfg := ctxsearch.DefaultConfig()
 	cfg.Seed = *seed
@@ -222,6 +230,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			cfg:        cfg,
 			corpusPath: *corpusPath, oboPath: *oboPath,
 			setKind: *setKind, scoreFn: *scoreFn, statePath: *statePath,
+			stateFormat: *stateFormat,
 			addr: *addr, debugAddr: *debugAddr,
 			queryTimeout: *queryTimeout, maxInflight: *maxInflight,
 			readTimeout: *httpReadTimeout, writeTimeout: *httpWriteTimeout,
@@ -252,7 +261,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		return nil
 	}
 
-	a := &app{sys: sys, limit: *limit, boolean: *boolean}
+	a := &app{sys: sys, limit: *limit, boolean: *boolean, stateFormat: *stateFormat}
 	if cmd == "build" {
 		if err := a.compute(*setKind, *scoreFn, *statePath); err != nil {
 			return err
@@ -301,7 +310,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 type serveOpts struct {
 	cfg                                    ctxsearch.Config
 	corpusPath, oboPath, setKind, scoreFn  string
-	statePath, addr, debugAddr             string
+	statePath, stateFormat                 string
+	addr, debugAddr                        string
 	queryTimeout                           time.Duration
 	maxInflight                            int
 	readTimeout, writeTimeout, idleTimeout time.Duration
@@ -432,44 +442,14 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 	}
 
 	srv := server.NewPending(scfg)
+	defer srv.Close()
 	buildErr := make(chan error, 1)
 	go func() {
-		sys, err := buildSystem(o.cfg, o.corpusPath, o.oboPath, false)
-		if err != nil {
-			buildErr <- fmt.Errorf("building system: %w", err)
-			cancel()
-			return
-		}
-		a := &app{sys: sys}
-		if err := a.prepare(o.setKind, o.scoreFn, o.statePath); err != nil {
+		if err := buildAndInstall(out, srv, o); err != nil {
 			buildErr <- err
 			cancel()
 			return
 		}
-		switch {
-		case o.shardCount > 1:
-			// One shard process of a multi-process deployment: full system
-			// (the analyzer's global statistics and the render endpoints
-			// need it) but a range-restricted query engine.
-			eng, r, err := shard.RangeEngine(sys.Analyzer(), a.cs, a.matrix, sys.Config().Relevancy,
-				o.shardIndex, o.shardCount, o.cfg.BuildWorkers)
-			if err != nil {
-				buildErr <- err
-				cancel()
-				return
-			}
-			srv.SetReadySharded(sys, a.cs, a.matrix, eng)
-			fmt.Fprintf(out, "shard %d/%d ready (papers %d-%d)\n", o.shardIndex, o.shardCount, r.Lo, r.Hi-1)
-		case o.shards > 1:
-			g := shard.NewGroup(sys.Analyzer(), a.cs, a.matrix, sys.Config().Relevancy, o.shards,
-				shard.Options{BuildWorkers: o.cfg.BuildWorkers, FanOut: o.fanout})
-			srv.SetReadySharded(sys, a.cs, a.matrix, g)
-			fmt.Fprintf(out, "engine ready (%d in-process shards)\n", g.NumShards())
-		default:
-			srv.SetReadyFrozen(sys, a.cs, a.matrix)
-			fmt.Fprintln(out, "engine ready")
-		}
-		fmt.Fprintln(out, sys.BuildStats().Summary())
 		buildErr <- nil
 	}()
 	err := server.Run(ctx, o.addr, srv, server.RunConfig{
@@ -489,9 +469,161 @@ func serveCmd(ctx context.Context, out io.Writer, o serveOpts) error {
 	return err
 }
 
+// buildAndInstall produces the serving state and installs it into srv,
+// flipping /readyz. When -state names an existing file, the file is opened
+// first (memory-mapped for v4 states) and drives a cold start that skips
+// whatever the file carries; otherwise the full offline build runs and
+// saves the state if a path was given.
+func buildAndInstall(out io.Writer, srv *server.Server, o serveOpts) error {
+	start := time.Now()
+	if o.statePath != "" {
+		if _, err := os.Stat(o.statePath); err == nil {
+			return serveFromState(out, srv, o, start)
+		}
+	}
+	sys, err := buildSystem(o.cfg, o.corpusPath, o.oboPath, false)
+	if err != nil {
+		return fmt.Errorf("building system: %w", err)
+	}
+	a := &app{sys: sys, stateFormat: o.stateFormat}
+	if err := a.prepare(o.setKind, o.scoreFn, o.statePath); err != nil {
+		return err
+	}
+	if err := install(out, srv, o, sys, a.cs, a.matrix, nil, nil); err != nil {
+		return err
+	}
+	finishColdStart(out, srv, sys, start, false)
+	return nil
+}
+
+// serveFromState boots from an existing -state file. A v4 file is
+// memory-mapped; when it carries the text index and DF table the entire
+// corpus-analysis pipeline is skipped and the engine binds the mapped CSR
+// arrays directly (ctxsearch.NewFrozenSystem). The server takes ownership
+// of the mapping — it stays alive until the backend is swapped out and the
+// last in-flight request releases it. A state file written by a newer
+// binary fails here with the version diagnostic, before readiness flips.
+func serveFromState(out io.Writer, srv *server.Server, o serveOpts, start time.Time) (err error) {
+	onto, c, err := loadOrGenData(o.cfg, o.corpusPath, o.oboPath, false)
+	if err != nil {
+		return fmt.Errorf("building system: %w", err)
+	}
+	t0 := time.Now()
+	mapped, err := store.Open(o.statePath, onto)
+	if err != nil {
+		return fmt.Errorf("opening %s: %w", o.statePath, err)
+	}
+	defer func() {
+		if err != nil {
+			_ = mapped.Close()
+		}
+	}()
+	mapDur := time.Since(t0)
+	cs, err := mapped.ContextSet()
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", o.statePath, err)
+	}
+	matrix, err := mapped.Matrix(o.scoreFn)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", o.statePath, err)
+	}
+	parts, err := mapped.IndexParts()
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", o.statePath, err)
+	}
+	var sys *ctxsearch.System
+	if parts != nil {
+		df, derr := mapped.DF()
+		if derr != nil {
+			return fmt.Errorf("loading %s: %w", o.statePath, derr)
+		}
+		sys, err = ctxsearch.NewFrozenSystem(onto, c, parts, df, o.cfg)
+	} else {
+		// The state has no index (gob, or a v4 written without one): the
+		// corpus must still be analysed, but scores and context set are
+		// served from the file.
+		sys, err = ctxsearch.NewSystem(onto, c, o.cfg)
+	}
+	if err != nil {
+		return err
+	}
+	sys.BuildStats().Add("state-map", mapDur, 0, "")
+	if err := install(out, srv, o, sys, cs, matrix, parts, mapped); err != nil {
+		return err
+	}
+	finishColdStart(out, srv, sys, start, mapped.ZeroCopy())
+	return nil
+}
+
+// install wires the searcher shape the sharding flags ask for and flips
+// readiness. parts (non-nil only on the mapped path) lets shard engines
+// slice the existing postings instead of re-analysing the corpus; ref is
+// the mapping the server takes ownership of (nil for built state).
+func install(out io.Writer, srv *server.Server, o serveOpts, sys *ctxsearch.System, cs *ctxsearch.ContextSet, matrix *ctxsearch.Matrix, parts *index.Parts, ref server.StateRef) error {
+	switch {
+	case o.shardCount > 1:
+		// One shard process of a multi-process deployment: full system
+		// (the analyzer's global statistics and the render endpoints
+		// need it) but a range-restricted query engine.
+		var eng *ctxsearch.Engine
+		var r par.Shard
+		var err error
+		if parts != nil {
+			eng, r, err = shard.RangeEngineParts(sys.Analyzer(), parts, cs, matrix, sys.Config().Relevancy,
+				o.shardIndex, o.shardCount)
+		} else {
+			eng, r, err = shard.RangeEngine(sys.Analyzer(), cs, matrix, sys.Config().Relevancy,
+				o.shardIndex, o.shardCount, o.cfg.BuildWorkers)
+		}
+		if err != nil {
+			return err
+		}
+		srv.SetReadyMapped(sys, cs, matrix, eng, ref)
+		fmt.Fprintf(out, "shard %d/%d ready (papers %d-%d)\n", o.shardIndex, o.shardCount, r.Lo, r.Hi-1)
+	case o.shards > 1:
+		var g *shard.Group
+		var err error
+		sopts := shard.Options{BuildWorkers: o.cfg.BuildWorkers, FanOut: o.fanout}
+		if parts != nil {
+			g, err = shard.NewGroupParts(sys.Analyzer(), parts, cs, matrix, sys.Config().Relevancy, o.shards, sopts)
+			if err != nil {
+				return err
+			}
+		} else {
+			g = shard.NewGroup(sys.Analyzer(), cs, matrix, sys.Config().Relevancy, o.shards, sopts)
+		}
+		srv.SetReadyMapped(sys, cs, matrix, g, ref)
+		fmt.Fprintf(out, "engine ready (%d in-process shards)\n", g.NumShards())
+	default:
+		srv.SetReadyMapped(sys, cs, matrix, sys.EngineFrozen(cs, matrix), ref)
+		fmt.Fprintln(out, "engine ready")
+	}
+	return nil
+}
+
+// finishColdStart records boot-to-ready in the build stats (stage
+// "readyz-flip") and in /stats' cold_start_ms, and logs the summary.
+func finishColdStart(out io.Writer, srv *server.Server, sys *ctxsearch.System, start time.Time, zeroCopy bool) {
+	cold := time.Since(start)
+	sys.BuildStats().Add("readyz-flip", cold, 0, "")
+	srv.SetColdStart(cold)
+	fmt.Fprintf(out, "cold start %s (zero-copy mmap: %v)\n", cold.Round(time.Microsecond), zeroCopy)
+	fmt.Fprintln(out, sys.BuildStats().Summary())
+}
+
 // buildSystem loads corpus/ontology from files when they exist, generates
 // otherwise, and saves when generating with paths given.
 func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate bool) (*ctxsearch.System, error) {
+	o, c, err := loadOrGenData(cfg, corpusPath, oboPath, forceGenerate)
+	if err != nil {
+		return nil, err
+	}
+	return ctxsearch.NewSystem(o, c, cfg)
+}
+
+// loadOrGenData resolves the ontology and corpus without analysing them —
+// the raw inputs both the full build and the mapped-state cold start need.
+func loadOrGenData(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate bool) (*ctxsearch.Ontology, *ctxsearch.Corpus, error) {
 	var o *ctxsearch.Ontology
 	var c *ctxsearch.Corpus
 	if !forceGenerate && oboPath != "" {
@@ -499,7 +631,7 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 			defer f.Close()
 			parsed, err := ontology.ParseOBO(f)
 			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %w", oboPath, err)
+				return nil, nil, fmt.Errorf("parsing %s: %w", oboPath, err)
 			}
 			o = parsed
 		}
@@ -508,7 +640,7 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 		if _, err := os.Stat(corpusPath); err == nil {
 			loaded, err := corpus.LoadFile(corpusPath)
 			if err != nil {
-				return nil, fmt.Errorf("loading %s: %w", corpusPath, err)
+				return nil, nil, fmt.Errorf("loading %s: %w", corpusPath, err)
 			}
 			c = loaded
 		}
@@ -518,20 +650,20 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 			Seed: cfg.Seed, NumTerms: cfg.OntologyTerms, MaxDepth: cfg.MaxDepth, SecondParentProb: 0.12,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		o = gen
 		if oboPath != "" {
 			f, err := os.Create(oboPath)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if err := o.WriteOBO(f); err != nil {
 				f.Close()
-				return nil, err
+				return nil, nil, err
 			}
 			if err := f.Close(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -540,16 +672,16 @@ func buildSystem(cfg ctxsearch.Config, corpusPath, oboPath string, forceGenerate
 		gcfg.Seed = cfg.Seed
 		gen, err := corpus.Generate(o, gcfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		c = gen
 		if corpusPath != "" {
 			if err := c.SaveFile(corpusPath); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	return ctxsearch.NewSystem(o, c, cfg)
+	return o, c, nil
 }
 
 // prepare builds (or loads from statePath) the context set and prestige
@@ -605,9 +737,17 @@ func (a *app) compute(setKind, scoreFn, statePath string) error {
 	a.matrix = scores.Freeze()
 	if statePath != "" {
 		st := &store.State{ContextSet: a.cs, Matrices: map[string]*ctxsearch.Matrix{scoreFn: a.matrix}}
+		save := store.SaveFile
+		if a.stateFormat == "v4" {
+			// v4 additionally persists the text-index postings and the DF
+			// table, so the serving boot maps the file and skips analysis.
+			st.Index = a.sys.Index().Parts()
+			st.DF = a.sys.Analyzer().DF()
+			save = store.SaveFileV4
+		}
 		var serr error
 		a.sys.BuildStats().Time("state-save", 0, "", func() {
-			serr = store.SaveFile(statePath, st)
+			serr = save(statePath, st)
 		})
 		if serr != nil {
 			return fmt.Errorf("saving %s: %w", statePath, serr)

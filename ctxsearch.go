@@ -36,6 +36,7 @@ import (
 	"ctxsearch/internal/pattern"
 	"ctxsearch/internal/prestige"
 	"ctxsearch/internal/search"
+	"ctxsearch/internal/vector"
 )
 
 // Re-exported types so callers outside this module can name everything the
@@ -156,8 +157,13 @@ type System struct {
 
 	analyzer *corpus.Analyzer
 	index    *index.Index
-	posIndex *pattern.PosIndex
 	stats    *buildstats.Stats
+
+	// posIndex is built eagerly by NewSystem; a frozen system (NewFrozenSystem)
+	// leaves it nil and posOnce builds it on first use — serving plain vector
+	// queries from a mapped state never pays for positional postings.
+	posOnce  sync.Once
+	posIndex *pattern.PosIndex
 
 	// Scorers are cached: the citation and text scorers embed the corpus
 	// citation graph and co-author index, which are expensive to extract and
@@ -195,6 +201,37 @@ func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
 	st.Time("posindex", c.Len(), "papers", func() {
 		s.posIndex = pattern.NewPosIndexWorkers(s.analyzer, workers)
 	})
+	return s, nil
+}
+
+// NewFrozenSystem binds a system to pre-built text-index postings and a
+// document-frequency table — the artefacts a v4 state file carries — so
+// boot skips every per-paper analysis stage of NewSystem. The analyzer is
+// frozen (per-paper features are recomputed lazily only for endpoints that
+// render them, bit-identically to the eager build), the inverted index
+// binds the borrowed CSR arrays in O(terms), and the positional index is
+// built only if a pattern-based stage asks for it. Query results are
+// byte-identical to a NewSystem over the same corpus.
+func NewFrozenSystem(o *Ontology, c *Corpus, parts *index.Parts, df *vector.DF, cfg Config) (*System, error) {
+	if o == nil || o.Len() == 0 {
+		return nil, fmt.Errorf("ctxsearch: ontology is empty")
+	}
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("ctxsearch: corpus is empty")
+	}
+	if parts == nil || df == nil {
+		return nil, fmt.Errorf("ctxsearch: frozen system needs index parts and a DF table")
+	}
+	st := buildstats.New(par.Workers(c.Len(), cfg.BuildWorkers))
+	s := &System{cfg: cfg, Ontology: o, Corpus: c, stats: st}
+	var err error
+	st.Time("bind-index", len(parts.Terms), "terms", func() {
+		s.analyzer = corpus.NewAnalyzerFrozen(c, df)
+		s.index, err = index.FromParts(s.analyzer, parts)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ctxsearch: binding index: %w", err)
+	}
 	return s, nil
 }
 
@@ -259,7 +296,7 @@ func (s *System) BuildTextContextSet() *ContextSet {
 func (s *System) BuildPatternContextSet() *ContextSet {
 	var cs *ContextSet
 	s.stats.Time("contextset-pattern", s.Corpus.Len(), "papers", func() {
-		cs = contextset.BuildPatternBased(s.posIndex, s.analyzer, s.Ontology, s.contextWorkers())
+		cs = contextset.BuildPatternBased(s.PosIndex(), s.analyzer, s.Ontology, s.contextWorkers())
 	})
 	return cs
 }
@@ -288,7 +325,7 @@ func (s *System) TextScorer() *prestige.TextScorer {
 // per System; its mined-pattern cache then persists across score runs.
 func (s *System) PatternScorer() *prestige.PatternScorer {
 	s.patternOnce.Do(func() {
-		s.pattern = prestige.NewPatternScorer(s.posIndex, s.Ontology, s.cfg.Pattern, s.cfg.Match)
+		s.pattern = prestige.NewPatternScorer(s.PosIndex(), s.Ontology, s.cfg.Pattern, s.cfg.Match)
 	})
 	return s.pattern
 }
@@ -344,5 +381,16 @@ func (s *System) Analyzer() *corpus.Analyzer { return s.analyzer }
 // Index exposes the inverted index (advanced use).
 func (s *System) Index() *index.Index { return s.index }
 
-// PosIndex exposes the positional index (advanced use).
-func (s *System) PosIndex() *pattern.PosIndex { return s.posIndex }
+// PosIndex exposes the positional index (advanced use). On a frozen system
+// the first call builds it — the only stage of a mapped-state boot that
+// re-reads paper text, paid solely by pattern-based features.
+func (s *System) PosIndex() *pattern.PosIndex {
+	s.posOnce.Do(func() {
+		if s.posIndex == nil {
+			s.stats.Time("posindex", s.Corpus.Len(), "papers", func() {
+				s.posIndex = pattern.NewPosIndexWorkers(s.analyzer, s.cfg.BuildWorkers)
+			})
+		}
+	})
+	return s.posIndex
+}

@@ -89,6 +89,18 @@ func (s *Stats) Time(name string, items int, unit string, fn func()) {
 	s.mu.Unlock()
 }
 
+// Add records a stage the caller timed itself — the shape cold-start
+// instrumentation needs when the measured span (mapping a state file,
+// flipping readiness) is not a single function call Time could wrap.
+func (s *Stats) Add(name string, d time.Duration, items int, unit string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stages = append(s.stages, Stage{Name: name, Duration: d, Items: items, Unit: unit})
+	s.mu.Unlock()
+}
+
 func (s *Stats) observeGoroutines() {
 	n := runtime.NumGoroutine()
 	s.mu.Lock()

@@ -85,10 +85,17 @@ type membership struct {
 }
 
 // ContextSet is an immutable paper-to-context assignment.
+//
+// Two backings exist: the map form (members), produced by the builders and
+// FromSnapshot, and the frozen flat form (frozen), produced by FromFrozen
+// over borrowed CSR/bitmap arrays — typically aliasing a memory-mapped v4
+// state file. Exactly one is non-nil; every accessor branches on it and
+// returns identical results either way (golden-tested).
 type ContextSet struct {
 	kind    Kind
 	onto    *ontology.Ontology
 	members map[ontology.TermID]map[corpus.PaperID]membership
+	frozen  *frozenSet
 	reps    map[ontology.TermID]corpus.PaperID
 	// decay[ctx] < 1 when ctx inherited its papers from an ancestor.
 	decay map[ontology.TermID]float64
@@ -120,6 +127,15 @@ func (cs *ContextSet) Ontology() *ontology.Ontology { return cs.onto }
 
 // Contexts returns all non-empty contexts sorted by term ID.
 func (cs *ContextSet) Contexts() []ontology.TermID {
+	if f := cs.frozen; f != nil {
+		out := make([]ontology.TermID, 0, len(f.ctxs))
+		for i, ctx := range f.ctxs {
+			if f.offsets[i] < f.offsets[i+1] {
+				out = append(out, ctx)
+			}
+		}
+		return out
+	}
 	out := make([]ontology.TermID, 0, len(cs.members))
 	for t, m := range cs.members {
 		if len(m) > 0 {
@@ -133,6 +149,15 @@ func (cs *ContextSet) Contexts() []ontology.TermID {
 // ContextsWithMinSize returns non-empty contexts with more than min papers,
 // sorted by term ID — the paper excludes contexts with ≤ 100 papers.
 func (cs *ContextSet) ContextsWithMinSize(min int) []ontology.TermID {
+	if f := cs.frozen; f != nil {
+		var out []ontology.TermID
+		for i, ctx := range f.ctxs {
+			if int(f.offsets[i+1]-f.offsets[i]) > min {
+				out = append(out, ctx)
+			}
+		}
+		return out
+	}
 	var out []ontology.TermID
 	for t, m := range cs.members {
 		if len(m) > min {
@@ -145,6 +170,14 @@ func (cs *ContextSet) ContextsWithMinSize(min int) []ontology.TermID {
 
 // Papers returns the papers of a context in ID order.
 func (cs *ContextSet) Papers(ctx ontology.TermID) []corpus.PaperID {
+	if f := cs.frozen; f != nil {
+		i, ok := f.ord[ctx]
+		if !ok {
+			return []corpus.PaperID{}
+		}
+		docs, _ := f.run(i)
+		return append([]corpus.PaperID{}, docs...)
+	}
 	m := cs.members[ctx]
 	out := make([]corpus.PaperID, 0, len(m))
 	for id := range m {
@@ -157,6 +190,18 @@ func (cs *ContextSet) Papers(ctx ontology.TermID) []corpus.PaperID {
 // PaperSet returns the membership set of a context; the map is shared and
 // must not be modified.
 func (cs *ContextSet) PaperSet(ctx ontology.TermID) map[corpus.PaperID]bool {
+	if f := cs.frozen; f != nil {
+		i, ok := f.ord[ctx]
+		if !ok {
+			return map[corpus.PaperID]bool{}
+		}
+		docs, _ := f.run(i)
+		out := make(map[corpus.PaperID]bool, len(docs))
+		for _, id := range docs {
+			out[id] = true
+		}
+		return out
+	}
 	m := cs.members[ctx]
 	out := make(map[corpus.PaperID]bool, len(m))
 	for id := range m {
@@ -170,6 +215,15 @@ func (cs *ContextSet) PaperSet(ctx ontology.TermID) map[corpus.PaperID]bool {
 // must not modify it (union into a fresh set with bitset.Clone/UnionWith).
 // Safe for concurrent use.
 func (cs *ContextSet) PaperBitset(ctx ontology.TermID) bitset.Set {
+	if f := cs.frozen; f != nil {
+		// The bitmap runs are precomputed in the frozen arrays: no lock, no
+		// cache, no allocation — and identical to what the lazy path builds.
+		i, ok := f.ord[ctx]
+		if !ok {
+			return nil
+		}
+		return f.bits(i)
+	}
 	cs.bitsetMu.Lock()
 	defer cs.bitsetMu.Unlock()
 	if cs.bitsets == nil {
@@ -187,10 +241,23 @@ func (cs *ContextSet) PaperBitset(ctx ontology.TermID) bitset.Set {
 }
 
 // Size returns the number of papers in a context.
-func (cs *ContextSet) Size(ctx ontology.TermID) int { return len(cs.members[ctx]) }
+func (cs *ContextSet) Size(ctx ontology.TermID) int {
+	if f := cs.frozen; f != nil {
+		i, ok := f.ord[ctx]
+		if !ok {
+			return 0
+		}
+		return int(f.offsets[i+1] - f.offsets[i])
+	}
+	return len(cs.members[ctx])
+}
 
 // Contains reports membership of a paper in a context.
 func (cs *ContextSet) Contains(ctx ontology.TermID, p corpus.PaperID) bool {
+	if f := cs.frozen; f != nil {
+		i, ok := f.ord[ctx]
+		return ok && f.bits(i).Contains(int(p))
+	}
 	_, ok := cs.members[ctx][p]
 	return ok
 }
@@ -198,7 +265,33 @@ func (cs *ContextSet) Contains(ctx ontology.TermID, p corpus.PaperID) bool {
 // AssignScore returns the assignment strength of a paper in a context
 // (0 when not a member).
 func (cs *ContextSet) AssignScore(ctx ontology.TermID, p corpus.PaperID) float64 {
+	if f := cs.frozen; f != nil {
+		i, ok := f.ord[ctx]
+		if !ok {
+			return 0
+		}
+		docs, scores := f.run(i)
+		if k := searchPapers(docs, p); k < len(docs) && docs[k] == p {
+			return scores[k]
+		}
+		return 0
+	}
 	return cs.members[ctx][p].score
+}
+
+// searchPapers returns the first index of s whose value is >= v (len(s)
+// when none is).
+func searchPapers(s []corpus.PaperID, v corpus.PaperID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Representative returns the representative paper of a context in the
@@ -227,6 +320,15 @@ func (cs *ContextSet) InheritedFrom(ctx ontology.TermID) (ontology.TermID, bool)
 
 // ContextsOf returns the contexts containing a paper, sorted by term ID.
 func (cs *ContextSet) ContextsOf(p corpus.PaperID) []ontology.TermID {
+	if f := cs.frozen; f != nil {
+		var out []ontology.TermID
+		for i, ctx := range f.ctxs {
+			if f.bits(int32(i)).Contains(int(p)) {
+				out = append(out, ctx)
+			}
+		}
+		return out
+	}
 	var out []ontology.TermID
 	for t, m := range cs.members {
 		if _, ok := m[p]; ok {
@@ -238,6 +340,9 @@ func (cs *ContextSet) ContextsOf(p corpus.PaperID) []ontology.TermID {
 }
 
 func (cs *ContextSet) add(ctx ontology.TermID, p corpus.PaperID, score float64) {
+	if cs.frozen != nil {
+		panic("contextset: add on a frozen set")
+	}
 	if score > 1 {
 		score = 1 // guard against cosine rounding slightly above 1
 	}

@@ -29,6 +29,18 @@ func (cs *ContextSet) Snapshot() *Snapshot {
 		Decay:         make(map[ontology.TermID]float64, len(cs.decay)),
 		InheritedFrom: make(map[ontology.TermID]ontology.TermID, len(cs.inheritedFrom)),
 	}
+	if f := cs.frozen; f != nil {
+		// Frozen backing: materialize the member maps from the CSR runs, so
+		// a mapped v4 set can still round-trip through the gob formats.
+		for i, ctx := range f.ctxs {
+			docs, scores := f.run(int32(i))
+			mm := make(map[corpus.PaperID]float64, len(docs))
+			for k, id := range docs {
+				mm[id] = scores[k]
+			}
+			snap.Members[ctx] = mm
+		}
+	}
 	for ctx, m := range cs.members {
 		mm := make(map[corpus.PaperID]float64, len(m))
 		for id, mem := range m {

@@ -32,6 +32,11 @@ type Analyzer struct {
 	corpus *Corpus
 	tok    *textproc.Tokenizer
 	feats  []*Features
+	// lazy marks an analyzer built by NewAnalyzerFrozen: features are
+	// analysed on first demand instead of eagerly at construction. The
+	// serving hot path (query weighting, snippets) never needs them, so a
+	// frozen analyzer binds in O(1).
+	lazy bool
 	// DF over whole-paper term supports, used for TF-IDF weighting.
 	df *vector.DF
 	// cached TF-IDF vectors per section, computed lazily; mu guards the
@@ -91,6 +96,62 @@ func NewAnalyzerWorkers(c *Corpus, workers int) *Analyzer {
 	return a
 }
 
+// NewAnalyzerFrozen binds an analyzer over a corpus and a persisted DF
+// table without analysing a single paper — the O(1) open path of the v4
+// state format, where the postings that normally consume the per-paper
+// TF-IDF vectors are already frozen on disk. Query weighting
+// (QueryVector) needs only the DF table and tokenizer, both available
+// immediately; per-paper features are analysed lazily on first demand
+// (pattern mining, MatchScore, co-author paths), bit-identical to the
+// eager build since the tokenizer and stemmer are stateless.
+//
+// The DF table must be the one built from this corpus: every weight and
+// norm — and therefore every score — derives from it.
+func NewAnalyzerFrozen(c *Corpus, df *vector.DF) *Analyzer {
+	a := &Analyzer{
+		corpus:      c,
+		tok:         textproc.NewTokenizer(textproc.WithStemming(), textproc.WithStopwords(), textproc.WithMinLength(2)),
+		feats:       make([]*Features, c.Len()),
+		lazy:        true,
+		df:          df,
+		weighted:    make([]map[Section]vector.Sparse, c.Len()),
+		weightedAll: make([]vector.Sparse, c.Len()),
+		norms:       make([]map[Section]float64, c.Len()),
+		normsAll:    make([]float64, c.Len()),
+	}
+	for i := range a.normsAll {
+		a.normsAll[i] = -1
+	}
+	return a
+}
+
+// featLocked returns a paper's features, analysing them first on a lazy
+// analyzer. Caller holds a.mu (or is otherwise the sole accessor).
+func (a *Analyzer) featLocked(id PaperID) *Features {
+	f := a.feats[id]
+	if f == nil {
+		if p := a.corpus.Paper(id); p != nil {
+			f = a.analyzePaper(p)
+			a.feats[id] = f
+		}
+	}
+	return f
+}
+
+// ensureFeatures materializes every paper's features — the corpus-sweep
+// accessors (phrase DF, co-author index) need them all. A no-op on eager
+// or warmed analyzers.
+func (a *Analyzer) ensureFeatures() {
+	if !a.lazy || a.warmed.Load() {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range a.corpus.Papers() {
+		a.featLocked(p.ID)
+	}
+}
+
 // analyzePaper tokenizes one paper into its Features. Safe for concurrent
 // use: the tokenizer is stateless and nothing on the analyzer is written.
 func (a *Analyzer) analyzePaper(p *Paper) *Features {
@@ -133,6 +194,15 @@ func (a *Analyzer) Warm(workers int) {
 	par.For(len(a.feats), workers, func(i int) {
 		f := a.feats[i]
 		if f == nil {
+			// Lazy analyzer: analyse on the way through. Each slot is
+			// written by exactly one worker (disjoint indices), so the
+			// fill is race-free under the held cache lock.
+			if p := a.corpus.Paper(PaperID(i)); p != nil {
+				f = a.analyzePaper(p)
+				a.feats[i] = f
+			}
+		}
+		if f == nil {
 			return
 		}
 		w := make(map[Section]vector.Sparse, len(Sections))
@@ -172,6 +242,11 @@ func (a *Analyzer) Features(id PaperID) *Features {
 	if int(id) < 0 || int(id) >= len(a.feats) {
 		return nil
 	}
+	if a.lazy && !a.warmed.Load() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.featLocked(id)
+	}
 	return a.feats[id]
 }
 
@@ -194,7 +269,7 @@ func (a *Analyzer) TFIDF(id PaperID, s Section) vector.Sparse {
 	if v, ok := a.weighted[id][s]; ok {
 		return v
 	}
-	v := a.df.Weight(a.feats[id].TF[s])
+	v := a.df.Weight(a.featLocked(id).TF[s])
 	a.weighted[id][s] = v
 	return v
 }
@@ -212,7 +287,7 @@ func (a *Analyzer) TFIDFAll(id PaperID) vector.Sparse {
 	if v := a.weightedAll[id]; v != nil {
 		return v
 	}
-	v := a.df.Weight(a.feats[id].AllTF)
+	v := a.df.Weight(a.featLocked(id).AllTF)
 	a.weightedAll[id] = v
 	return v
 }
@@ -276,6 +351,7 @@ func (a *Analyzer) DocFreqOfPhrase(words []string) int {
 	if len(words) == 0 {
 		return 0
 	}
+	a.ensureFeatures()
 	n := 0
 	for _, f := range a.feats {
 		if paperHasPhrase(f, words) {
@@ -314,6 +390,7 @@ outer:
 // CoAuthorIndex maps each normalised author to the sorted set of papers
 // they appear on; used by Level-1 author overlap.
 func (a *Analyzer) CoAuthorIndex() map[string][]PaperID {
+	a.ensureFeatures()
 	idx := make(map[string][]PaperID)
 	for _, f := range a.feats {
 		for au := range f.Authors {

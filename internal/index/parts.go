@@ -1,0 +1,163 @@
+package index
+
+import (
+	"fmt"
+
+	"ctxsearch/internal/corpus"
+)
+
+// Parts is the serializable flat form of an Index: the interned term
+// dictionary plus the CSR postings and the per-term MaxScore maxima. It is
+// what the v4 state format persists so that serving can skip corpus
+// re-analysis and index construction entirely — FromParts rebinds these
+// arrays (typically aliasing a memory-mapped file) to a live Index in
+// O(terms), never touching a posting.
+type Parts struct {
+	// Terms holds the indexed term strings in lexicographic order; term i
+	// has interned ID i, matching the Build ID assignment exactly.
+	Terms []string
+	// CSR postings: term t's run is Docs[Offsets[t]:Offsets[t+1]] and
+	// Weights[...], ascending by doc ID.
+	Offsets []int32
+	Docs    []corpus.PaperID
+	Weights []float64
+	// Norms[d] is document d's TF-IDF vector norm (full corpus size).
+	Norms []float64
+	// Per-term MaxScore bounds (see topk.go).
+	MaxWeight []float64
+	MaxRatio  []float64
+}
+
+// Parts exposes the index's flat arrays for serialization. All slices alias
+// the index except Terms, which is materialized from the interning map —
+// read-only either way.
+func (ix *Index) Parts() *Parts {
+	terms := make([]string, len(ix.termIDs))
+	for term, id := range ix.termIDs {
+		terms[id] = term
+	}
+	return &Parts{
+		Terms:     terms,
+		Offsets:   ix.offsets,
+		Docs:      ix.docs,
+		Weights:   ix.weights,
+		Norms:     ix.norms,
+		MaxWeight: ix.maxWeight,
+		MaxRatio:  ix.maxRatio,
+	}
+}
+
+// FromParts constructs an Index over caller-provided flat arrays — the
+// zero-copy open path of the v4 state format. The index borrows every
+// slice verbatim and never mutates or appends, so mapping-backed
+// (read-only) memory is safe; the caller keeps the backing storage alive
+// for the index's lifetime. The analyzer must be over the same corpus the
+// parts were built from (its DF table drives query weighting; document
+// weights are already frozen in the postings).
+//
+// Validation is O(terms): lengths, offset monotonicity, and lexicographic
+// term order. Per-element posting content is the writer's contract,
+// guarded on disk by section CRCs — scanning it here would fault in every
+// page and defeat the O(1) open.
+func FromParts(a *corpus.Analyzer, p *Parts) (*Index, error) {
+	nTerms := len(p.Terms)
+	if len(p.Offsets) != nTerms+1 {
+		return nil, fmt.Errorf("index: %d terms need %d offsets, have %d", nTerms, nTerms+1, len(p.Offsets))
+	}
+	if len(p.Docs) != len(p.Weights) {
+		return nil, fmt.Errorf("index: %d docs vs %d weights", len(p.Docs), len(p.Weights))
+	}
+	if p.Offsets[0] != 0 || int(p.Offsets[nTerms]) != len(p.Docs) {
+		return nil, fmt.Errorf("index: offsets span [%d, %d), want [0, %d)", p.Offsets[0], p.Offsets[nTerms], len(p.Docs))
+	}
+	if len(p.MaxWeight) != nTerms || len(p.MaxRatio) != nTerms {
+		return nil, fmt.Errorf("index: %d terms vs %d/%d maxima", nTerms, len(p.MaxWeight), len(p.MaxRatio))
+	}
+	if n := a.Corpus().Len(); len(p.Norms) != n {
+		return nil, fmt.Errorf("index: %d norms for a %d-paper corpus", len(p.Norms), n)
+	}
+	ix := &Index{
+		analyzer:  a,
+		termIDs:   make(map[string]int32, nTerms),
+		offsets:   p.Offsets,
+		docs:      p.Docs,
+		weights:   p.Weights,
+		norms:     p.Norms,
+		maxWeight: p.MaxWeight,
+		maxRatio:  p.MaxRatio,
+	}
+	for i, term := range p.Terms {
+		if i > 0 && p.Terms[i-1] >= term {
+			return nil, fmt.Errorf("index: terms not in lexicographic order at %d (%q)", i, term)
+		}
+		if p.Offsets[i] > p.Offsets[i+1] {
+			return nil, fmt.Errorf("index: offsets decrease at term %d (%q)", i, term)
+		}
+		ix.termIDs[term] = int32(i)
+	}
+	n := len(p.Norms)
+	ix.accPool.New = func() any {
+		return &accum{val: make([]float64, n), seen: make([]bool, n)}
+	}
+	return ix, nil
+}
+
+// SliceRange restricts the parts to postings of documents with
+// lo <= ID < hi — the per-range open of the sharded serving topology over
+// a mapped state, replacing BuildRangeWorkers without re-analyzing a
+// single paper. The term dictionary, offsets shape, and norms stay
+// corpus-global (terms whose postings fall outside the range keep an empty
+// run, which the query path treats exactly like an unindexed term), so a
+// range engine's scores are bit-identical to the full build's for its own
+// documents. Per-term maxima are recomputed over the surviving postings,
+// matching BuildRangeWorkers' tighter in-range MaxScore bounds. The
+// returned parts own their postings (copied out of the mapped arrays);
+// Terms and Norms stay borrowed.
+func (p *Parts) SliceRange(lo, hi int) *Parts {
+	nTerms := len(p.Terms)
+	out := &Parts{
+		Terms:     p.Terms,
+		Offsets:   make([]int32, nTerms+1),
+		Norms:     p.Norms,
+		MaxWeight: make([]float64, nTerms),
+		MaxRatio:  make([]float64, nTerms),
+	}
+	dlo, dhi := corpus.PaperID(lo), corpus.PaperID(hi)
+	for t := 0; t < nTerms; t++ {
+		run := p.Docs[p.Offsets[t]:p.Offsets[t+1]]
+		a := int(p.Offsets[t]) + searchPaperID(run, dlo)
+		b := int(p.Offsets[t]) + searchPaperID(run, dhi)
+		var mw, mr float64
+		for k := a; k < b; k++ {
+			w := p.Weights[k]
+			out.Docs = append(out.Docs, p.Docs[k])
+			out.Weights = append(out.Weights, w)
+			if w > mw {
+				mw = w
+			}
+			if dn := p.Norms[p.Docs[k]]; dn > 0 {
+				if r := w / dn; r > mr {
+					mr = r
+				}
+			}
+		}
+		out.Offsets[t+1] = int32(len(out.Docs))
+		out.MaxWeight[t], out.MaxRatio[t] = mw, mr
+	}
+	return out
+}
+
+// searchPaperID returns the first index of s whose value is >= v (len(s)
+// when none is).
+func searchPaperID(s []corpus.PaperID, v corpus.PaperID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -129,6 +129,18 @@ func (c Config) cacheTTL() time.Duration {
 	return c.CacheTTL
 }
 
+// StateRef is a refcounted handle on externally-owned resources backing a
+// backend — in practice the mmapped v4 state file (*store.Mapped) whose
+// pages the engine's CSR arrays alias. Retain/Release bracket each request
+// so a swap never unmaps memory a handler is still reading; Close drops
+// the owner reference when the backend is swapped out (the mapping goes
+// away once the last in-flight request releases).
+type StateRef interface {
+	Retain() bool
+	Release()
+	Close() error
+}
+
 // backend bundles the query-serving state; it is swapped in atomically once
 // the engine is built, flipping /readyz to 200. Prestige is held in its
 // frozen CSR matrix form — the same structure the engine's hot path reads.
@@ -137,6 +149,21 @@ type backend struct {
 	cs       *ctxsearch.ContextSet
 	matrix   *ctxsearch.Matrix
 	searcher Searcher
+	// ref, when non-nil, is the mapped state this backend reads from. The
+	// server owns it: installed via SetReadyMapped, closed on swap-out.
+	ref StateRef
+}
+
+// acquire takes a per-request reference on the backend's mapped state. It
+// fails only when the backend raced a swap-out and every other holder
+// already released — the caller must reload the backend pointer.
+func (b *backend) acquire() bool { return b.ref == nil || b.ref.Retain() }
+
+// release returns acquire's reference.
+func (b *backend) release() {
+	if b.ref != nil {
+		b.ref.Release()
+	}
 }
 
 // Server wires the search engine into an http.Handler behind the
@@ -148,6 +175,9 @@ type Server struct {
 	handler  http.Handler
 	inflight chan struct{}
 	backend  atomic.Pointer[backend]
+	// coldStart is the boot duration (nanoseconds) reported by /stats —
+	// recorded by the deployment via SetColdStart when readiness flips.
+	coldStart atomic.Int64
 	// cache holds marshalled /search response bodies keyed on (query,
 	// boolean flag, paging options); concurrent identical queries are
 	// coalesced into one engine call (singleflight), and every engine
@@ -237,18 +267,43 @@ func (s *Server) SetReadyFrozen(sys *ctxsearch.System, cs *ctxsearch.ContextSet,
 // rendering and /stats; they must be the corpus-global state the searcher
 // was built from.
 func (s *Server) SetReadySharded(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix, searcher Searcher) {
-	s.backend.Store(&backend{
+	s.SetReadyMapped(sys, cs, m, searcher, nil)
+}
+
+// SetReadyMapped is SetReadySharded for state backed by a mapped v4 file:
+// the server takes ownership of ref (open-new, swap, close-old). The old
+// backend's mapping is closed after the swap — its pages stay valid until
+// the last in-flight request that retained them releases, then unmap.
+func (s *Server) SetReadyMapped(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix, searcher Searcher, ref StateRef) {
+	old := s.backend.Swap(&backend{
 		sys:      sys,
 		cs:       cs,
 		matrix:   m,
 		searcher: searcher,
+		ref:      ref,
 	})
 	// Responses computed by the previous engine are now stale; requests
 	// already in flight may still insert results of the old engine, which
 	// the generation bump also defuses (stale-generation loads are
 	// returned to their caller but never cached).
 	s.cache.Bump()
+	if old != nil && old.ref != nil {
+		_ = old.ref.Close()
+	}
 }
+
+// Close releases the currently installed backend's mapped state, if any.
+// The server stops being ready; call on shutdown after draining.
+func (s *Server) Close() error {
+	if b := s.backend.Swap(nil); b != nil && b.ref != nil {
+		return b.ref.Close()
+	}
+	return nil
+}
+
+// SetColdStart records how long boot took from process start (or build
+// start) to the readiness flip; /stats reports it as cold_start_ms.
+func (s *Server) SetColdStart(d time.Duration) { s.coldStart.Store(int64(d)) }
 
 // Ready reports whether the engine state is installed.
 func (s *Server) Ready() bool { return s.backend.Load() != nil }
@@ -264,15 +319,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
 }
 
-// ready returns the backend, or writes a 503 and returns nil while the
-// engine is still being built.
+// ready returns the backend with a reference taken on its mapped state
+// (the caller must b.release() when done), or writes a 503 and returns nil
+// while the engine is still being built. A failed acquire means the loaded
+// pointer raced a swap-out; the fresh pointer acquires.
 func (s *Server) ready(w http.ResponseWriter) *backend {
-	b := s.backend.Load()
-	if b == nil {
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, "engine not ready")
+	for {
+		b := s.backend.Load()
+		if b == nil {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "engine not ready")
+			return nil
+		}
+		if b.acquire() {
+			return b
+		}
 	}
-	return b
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -386,9 +448,11 @@ func parseSearchParams(w http.ResponseWriter, r *http.Request) (p searchParams, 
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if s.ready(w) == nil {
+	b := s.ready(w)
+	if b == nil {
 		return
 	}
+	defer b.release()
 	p, ok := parseSearchParams(w, r)
 	if !ok {
 		return
@@ -434,7 +498,20 @@ func searchCacheKey(q string, boolean bool, opts ctxsearch.SearchOptions) string
 
 // buildSearchResponse runs the engine and marshals the response body.
 func (s *Server) buildSearchResponse(ctx context.Context, q string, boolean bool, opts ctxsearch.SearchOptions) ([]byte, error) {
-	b := s.backend.Load() // see handleSearch: must be re-read inside the cache load
+	// The backend must be re-read inside the cache load (see handleSearch),
+	// and the re-read pointer needs its own reference — the handler's
+	// reference covers the pointer it loaded, not this one.
+	var b *backend
+	for {
+		b = s.backend.Load()
+		if b == nil {
+			return nil, errors.New("engine not ready")
+		}
+		if b.acquire() {
+			break
+		}
+	}
+	defer b.release()
 	if s.testHook != nil {
 		s.testHook(ctx)
 	}
@@ -513,6 +590,7 @@ func (s *Server) handleShardSearch(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	defer b.release()
 	var req ShardSearchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad shard request: %v", err)
@@ -575,6 +653,7 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	defer b.release()
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
 		writeErr(w, http.StatusBadRequest, "missing query parameter q")
@@ -624,6 +703,7 @@ func (s *Server) handlePaper(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	defer b.release()
 	idStr := r.PathValue("id")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
@@ -672,6 +752,12 @@ type StatsResponse struct {
 	CacheMisses    uint64 `json:"cache_misses"`
 	CacheCoalesced uint64 `json:"cache_coalesced"`
 	CacheEntries   int    `json:"cache_entries"`
+	// ColdStartMS is the last boot's duration in milliseconds (state load
+	// or build through the readiness flip); 0 when never recorded.
+	ColdStartMS float64 `json:"cold_start_ms,omitempty"`
+	// MappedState reports whether the backend serves from a zero-copy
+	// memory-mapped state file.
+	MappedState bool `json:"mapped_state,omitempty"`
 	// Sharding holds scatter-gather counters when the installed searcher is
 	// a shard group (or this server is a coordinator); absent otherwise.
 	Sharding *shard.Snapshot `json:"sharding,omitempty"`
@@ -682,6 +768,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if b == nil {
 		return
 	}
+	defer b.release()
 	cst := s.cache.Stats()
 	resp := StatsResponse{
 		Papers:         b.sys.Corpus.Len(),
@@ -693,6 +780,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:    cst.Misses,
 		CacheCoalesced: cst.Coalesced,
 		CacheEntries:   cst.Entries,
+		MappedState:    b.ref != nil,
+	}
+	if cs := s.coldStart.Load(); cs > 0 {
+		resp.ColdStartMS = float64(cs) / float64(time.Millisecond)
 	}
 	if sm, ok := b.searcher.(interface{ Metrics() *shard.Metrics }); ok {
 		snap := sm.Metrics().Snapshot()

@@ -84,6 +84,43 @@ func NewGroup(a *corpus.Analyzer, cs *contextset.ContextSet, m *prestige.Matrix,
 	return g
 }
 
+// NewGroupParts is NewGroup over pre-built index parts (a mapped v4
+// state): each shard's index comes from Parts.SliceRange — a binary-search
+// restriction of the existing postings — instead of re-analysing the
+// corpus. The sliced parts keep the global term dictionary, so per-shard
+// engines select contexts and weight queries exactly as NewGroup's do and
+// the merged pages stay byte-identical.
+func NewGroupParts(a *corpus.Analyzer, parts *index.Parts, cs *contextset.ContextSet, m *prestige.Matrix, w search.Weights, n int, opts Options) (*Group, error) {
+	ranges := par.Shards(a.Corpus().Len(), n)
+	g := &Group{
+		engines: make([]*search.Engine, len(ranges)),
+		ranges:  ranges,
+		fanout:  opts.FanOut,
+		metrics: NewMetrics(len(ranges)),
+	}
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r par.Shard) {
+			defer wg.Done()
+			ix, err := index.FromParts(a, parts.SliceRange(r.Lo, r.Hi))
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			g.engines[i] = search.NewEngineFrozen(ix, cs, m.Slice(r.Lo, r.Hi), w)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 // RangeEngine builds shard i of n's engine alone — the multi-process
 // deployment shape, where each process owns one paper range and serves it
 // over POST /shard/search. The range split is exactly NewGroup's
@@ -98,6 +135,23 @@ func RangeEngine(a *corpus.Analyzer, cs *contextset.ContextSet, m *prestige.Matr
 	}
 	r := ranges[i]
 	ix := index.BuildRangeWorkers(a, r.Lo, r.Hi, buildWorkers)
+	return search.NewEngineFrozen(ix, cs, m.Slice(r.Lo, r.Hi), w), r, nil
+}
+
+// RangeEngineParts is RangeEngine over pre-built index parts: the shard's
+// range-restricted index comes from Parts.SliceRange instead of
+// re-analysing the corpus, so a mapped-state shard process is query-ready
+// in O(terms + its own postings).
+func RangeEngineParts(a *corpus.Analyzer, parts *index.Parts, cs *contextset.ContextSet, m *prestige.Matrix, w search.Weights, i, n int) (*search.Engine, par.Shard, error) {
+	ranges := par.Shards(a.Corpus().Len(), n)
+	if i < 0 || i >= len(ranges) {
+		return nil, par.Shard{}, fmt.Errorf("shard index %d out of range (corpus of %d papers splits into %d shards)", i, a.Corpus().Len(), len(ranges))
+	}
+	r := ranges[i]
+	ix, err := index.FromParts(a, parts.SliceRange(r.Lo, r.Hi))
+	if err != nil {
+		return nil, par.Shard{}, err
+	}
 	return search.NewEngineFrozen(ix, cs, m.Slice(r.Lo, r.Hi), w), r, nil
 }
 

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mmapFile reports mapping unsupported on this platform; Open falls back
+// to the byte-copy path (identical semantics, pages not shared).
+func mmapFile(*os.File, int) ([]byte, bool, error) { return nil, false, nil }
+
+// munmap is a no-op without mappings.
+func munmap([]byte) error { return nil }

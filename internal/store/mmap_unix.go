@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: every process
+// serving the same state file shares the page-cache pages. ok=false (with
+// nil error) means mapping is not applicable (empty file); a syscall
+// error makes the caller fall back to the byte-copy path.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// munmap releases a mapping from mmapFile.
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,665 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/vector"
+)
+
+// noMmapEnv force-disables the mmap path (CI runs the suite with it set so
+// the byte-copy fallback decoder stays green).
+const noMmapEnv = "CTXSEARCH_NO_MMAP"
+
+// section is one parsed section-table entry. verified flips after the
+// first CRC check — each section's checksum is verified lazily, the first
+// time its data is materialized into a component, so an open never faults
+// in payload pages it doesn't need.
+type section struct {
+	id, kind    uint32
+	off, length uint64
+	crc         uint32
+	verified    bool
+}
+
+// Mapped is an open state file. For a v4 file the components hand out
+// slices aliasing the underlying mapping (or the heap buffer on the
+// fallback path), materialized lazily and cached; for v1–v3 gob files it
+// wraps a fully decoded State so callers get one open API across formats.
+//
+// Lifecycle: Open returns the Mapped holding one owner reference. Close
+// drops it; the mapping is unmapped when the owner reference and every
+// Retain have been released, so a server can swap in a new state and
+// Close the old one while requests still read it (open-new, swap,
+// close-old). Close is idempotent.
+type Mapped struct {
+	onto   *ontology.Ontology
+	data   []byte
+	mapped bool
+	secs   map[uint32]*section
+
+	refs   atomic.Int64
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	termDict []ontology.TermID
+	cs       *contextset.ContextSet
+	parts    *index.Parts
+	hasParts bool
+	df       *vector.DF
+	matDir   map[string]uint32
+	matNames []string
+	mats     map[string]*prestige.Matrix
+	st       *State
+}
+
+// Open opens a state file for serving. A v4 file is memory-mapped
+// (syscall.Mmap on unix; a byte-copy read everywhere else or under
+// CTXSEARCH_NO_MMAP=1) and its sections are reinterpreted zero-copy on
+// demand; a v1–v3 gob file is decoded through Load. The ontology must be
+// the one the state was built from.
+func Open(path string, onto *ontology.Ontology) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [8]byte
+	if n, _ := io.ReadFull(f, head[:]); n == len(head) && string(head[:]) == magicV4 {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		size := int(fi.Size())
+		var data []byte
+		mapped := false
+		if os.Getenv(noMmapEnv) == "" {
+			if d, ok, merr := mmapFile(f, size); merr == nil && ok {
+				data, mapped = d, true
+			}
+		}
+		if data == nil {
+			// Fallback: byte-copy the file into an 8-aligned heap buffer;
+			// the section parsing and reinterpretation below are identical.
+			data = alignedBytes(size)
+			if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), data); err != nil {
+				return nil, fmt.Errorf("store: reading %s: %w", path, err)
+			}
+		}
+		m, err := openBytes(data, mapped, onto)
+		if err != nil {
+			if mapped {
+				_ = munmap(data)
+			}
+			return nil, fmt.Errorf("store: opening %s: %w", path, err)
+		}
+		return m, nil
+	}
+	st, err := LoadFile(path, onto)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapped{onto: onto, st: st}
+	m.refs.Store(1)
+	return m, nil
+}
+
+// openBytes parses a v4 image over data (mapped or heap). Only the
+// header, section table, and matrix directory are touched; everything
+// else waits for its first consumer.
+func openBytes(data []byte, mapped bool, onto *ontology.Ontology) (*Mapped, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("truncated v4 header (%d bytes)", len(data))
+	}
+	if string(data[:8]) != magicV4 {
+		return nil, fmt.Errorf("bad v4 magic %q", data[:8])
+	}
+	ver := int(binary.LittleEndian.Uint32(data[8:]))
+	if ver > versionV4 {
+		return nil, tooNewError(ver)
+	}
+	if ver != versionV4 {
+		return nil, fmt.Errorf("flat state version %d is not supported (want %d)", ver, versionV4)
+	}
+	count := binary.LittleEndian.Uint32(data[12:])
+	if count > maxSections {
+		return nil, fmt.Errorf("section count %d exceeds the format limit %d (corrupt header?)", count, maxSections)
+	}
+	tend := headerSize + int(count)*secHdrSize
+	if tend > len(data) {
+		return nil, fmt.Errorf("truncated section table: %d sections need %d bytes, file has %d", count, tend, len(data))
+	}
+	table := data[headerSize:tend]
+	if got, want := crc32.Checksum(table, castagnoli), binary.LittleEndian.Uint32(data[16:]); got != want {
+		return nil, fmt.Errorf("section table CRC mismatch (corrupt state file)")
+	}
+	m := &Mapped{
+		onto:   onto,
+		data:   data,
+		mapped: mapped,
+		secs:   make(map[uint32]*section, count),
+		mats:   make(map[string]*prestige.Matrix),
+	}
+	m.refs.Store(1)
+	for i := 0; i < int(count); i++ {
+		e := table[i*secHdrSize:]
+		s := &section{
+			id:     binary.LittleEndian.Uint32(e[0:]),
+			kind:   binary.LittleEndian.Uint32(e[4:]),
+			off:    binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+			crc:    binary.LittleEndian.Uint32(e[24:]),
+		}
+		if s.kind > kindU32 {
+			return nil, fmt.Errorf("section %d has unknown element kind %d", s.id, s.kind)
+		}
+		es := uint64(elemSize(s.kind))
+		if s.off%es != 0 {
+			return nil, fmt.Errorf("section %d is unaligned: offset %d is not a multiple of its %d-byte elements", s.id, s.off, es)
+		}
+		if s.length%es != 0 {
+			return nil, fmt.Errorf("section %d length %d is not a multiple of its %d-byte elements", s.id, s.length, es)
+		}
+		if s.off > uint64(len(data)) || s.off+s.length > uint64(len(data)) {
+			return nil, fmt.Errorf("section %d spans [%d, %d) beyond the %d-byte file (truncated?)", s.id, s.off, s.off+s.length, len(data))
+		}
+		if m.secs[s.id] != nil {
+			return nil, fmt.Errorf("duplicate section %d", s.id)
+		}
+		m.secs[s.id] = s
+	}
+	if err := m.parseMatrixDir(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// tooNewError is the shared too-new-version diagnostic of the gob and v4
+// readers: it names the file's version and points at the fix, so serve
+// startup prints something actionable instead of a bare decode error.
+func tooNewError(ver int) error {
+	return fmt.Errorf("store: state file version %d is newer than this binary supports (≤ %d) — the file was built by a newer ctxsearch; upgrade this binary, or rebuild the state with this one", ver, versionV4)
+}
+
+// sectionLocked returns a section's data, verifying its CRC on first
+// touch. Missing sections return (nil, false, nil). Caller holds m.mu (or
+// is single-threaded during open).
+func (m *Mapped) sectionLocked(id uint32) ([]byte, bool, error) {
+	s := m.secs[id]
+	if s == nil {
+		return nil, false, nil
+	}
+	b := m.data[s.off : s.off+s.length]
+	if !s.verified {
+		if got := crc32.Checksum(b, castagnoli); got != s.crc {
+			return nil, true, fmt.Errorf("store: section %d CRC mismatch (want %08x, data hashes to %08x): corrupt state file", id, s.crc, got)
+		}
+		s.verified = true
+	}
+	return b, true, nil
+}
+
+// needLocked is sectionLocked for sections the format requires.
+func (m *Mapped) needLocked(id uint32) ([]byte, error) {
+	b, ok, err := m.sectionLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: state file is missing required section %d", id)
+	}
+	return b, nil
+}
+
+// termDictLocked decodes (once) the shared term-ID dictionary. Strings
+// alias the file buffer — no copies.
+func (m *Mapped) termDictLocked() ([]ontology.TermID, error) {
+	if m.termDict != nil {
+		return m.termDict, nil
+	}
+	b, err := m.needLocked(secTermDict)
+	if err != nil {
+		return nil, err
+	}
+	c := &cursor{b: b}
+	n := int(c.u32())
+	if n < 0 || n > len(b) {
+		return nil, fmt.Errorf("store: term dictionary declares %d entries in a %d-byte section", n, len(b))
+	}
+	out := make([]ontology.TermID, n)
+	for i := range out {
+		out[i] = ontology.TermID(c.str())
+	}
+	if err := c.done(); err != nil {
+		return nil, fmt.Errorf("store: term dictionary: %w", err)
+	}
+	m.termDict = out
+	return out, nil
+}
+
+// dictRef resolves a term-dictionary reference with bounds checking.
+func dictRef(dict []ontology.TermID, r uint32) (ontology.TermID, error) {
+	if int(r) >= len(dict) {
+		return "", fmt.Errorf("store: term reference %d outside the %d-entry dictionary", r, len(dict))
+	}
+	return dict[r], nil
+}
+
+// parseMatrixDir reads the score-function directory (eager: it is tiny
+// and MatrixNames must work without faulting matrix payloads in).
+func (m *Mapped) parseMatrixDir() error {
+	b, err := m.needLocked(secMatrixDir)
+	if err != nil {
+		return err
+	}
+	c := &cursor{b: b}
+	n := int(c.u32())
+	if n < 0 || n > len(b) {
+		return fmt.Errorf("store: matrix directory declares %d entries in a %d-byte section", n, len(b))
+	}
+	m.matDir = make(map[string]uint32, n)
+	m.matNames = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := c.str()
+		base := c.u32()
+		m.matDir[name] = base
+		m.matNames = append(m.matNames, name)
+	}
+	if err := c.done(); err != nil {
+		return fmt.Errorf("store: matrix directory: %w", err)
+	}
+	sort.Strings(m.matNames)
+	return nil
+}
+
+// ContextSet materializes (once) the context paper set over the mapped
+// member and bitmap arrays.
+func (m *Mapped) ContextSet() (*contextset.ContextSet, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.contextSetLocked()
+}
+
+func (m *Mapped) contextSetLocked() (*contextset.ContextSet, error) {
+	if m.st != nil {
+		return m.st.ContextSet, nil
+	}
+	if m.cs != nil {
+		return m.cs, nil
+	}
+	dict, err := m.termDictLocked()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := m.needLocked(secCSMeta)
+	if err != nil {
+		return nil, err
+	}
+	c := &cursor{b: meta}
+	kind := contextset.Kind(c.u32())
+	nc := int(c.u32())
+	if nc < 0 || nc > len(meta) {
+		return nil, fmt.Errorf("store: context meta declares %d contexts in a %d-byte section", nc, len(meta))
+	}
+	ctxs := make([]ontology.TermID, nc)
+	for i := range ctxs {
+		if ctxs[i], err = dictRef(dict, c.u32()); err != nil {
+			return nil, err
+		}
+	}
+	nr := int(c.u32())
+	reps := make(map[ontology.TermID]corpus.PaperID, nr)
+	for i := 0; i < nr && !c.fail; i++ {
+		t, err := dictRef(dict, c.u32())
+		if err != nil {
+			return nil, err
+		}
+		reps[t] = corpus.PaperID(int64(c.u64()))
+	}
+	nd := int(c.u32())
+	decay := make(map[ontology.TermID]float64, nd)
+	for i := 0; i < nd && !c.fail; i++ {
+		t, err := dictRef(dict, c.u32())
+		if err != nil {
+			return nil, err
+		}
+		decay[t] = c.f64()
+	}
+	ni := int(c.u32())
+	inherited := make(map[ontology.TermID]ontology.TermID, ni)
+	for i := 0; i < ni && !c.fail; i++ {
+		t, err := dictRef(dict, c.u32())
+		if err != nil {
+			return nil, err
+		}
+		if inherited[t], err = dictRef(dict, c.u32()); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, fmt.Errorf("store: context meta: %w", err)
+	}
+	offs, err := m.needLocked(secCSOffsets)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := m.needLocked(secCSDocs)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := m.needLocked(secCSScores)
+	if err != nil {
+		return nil, err
+	}
+	woffs, err := m.needLocked(secCSWordOffs)
+	if err != nil {
+		return nil, err
+	}
+	words, err := m.needLocked(secCSWords)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := contextset.FromFrozen(m.onto, &contextset.Frozen{
+		Kind:          kind,
+		Ctxs:          ctxs,
+		Offsets:       asI32s(offs),
+		Docs:          asPaperIDs(docs),
+		Scores:        asF64s(scores),
+		WordOffsets:   asI32s(woffs),
+		Words:         asU64s(words),
+		Reps:          reps,
+		Decay:         decay,
+		InheritedFrom: inherited,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m.cs = cs
+	return cs, nil
+}
+
+// IndexParts materializes (once) the persisted text-index arrays, or
+// (nil, nil) when the state was saved without them (v4 states written
+// from a bare compute, or any gob state).
+func (m *Mapped) IndexParts() (*index.Parts, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.indexPartsLocked()
+}
+
+func (m *Mapped) indexPartsLocked() (*index.Parts, error) {
+	if m.st != nil {
+		return m.st.Index, nil
+	}
+	if m.hasParts {
+		return m.parts, nil
+	}
+	tb, ok, err := m.sectionLocked(secIdxTerms)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		m.hasParts = true
+		return nil, nil
+	}
+	c := &cursor{b: tb}
+	n := int(c.u32())
+	if n < 0 || n > len(tb) {
+		return nil, fmt.Errorf("store: index term dictionary declares %d entries in a %d-byte section", n, len(tb))
+	}
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = c.str()
+	}
+	if err := c.done(); err != nil {
+		return nil, fmt.Errorf("store: index term dictionary: %w", err)
+	}
+	offs, err := m.needLocked(secIdxOffsets)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := m.needLocked(secIdxDocs)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := m.needLocked(secIdxWeights)
+	if err != nil {
+		return nil, err
+	}
+	norms, err := m.needLocked(secIdxNorms)
+	if err != nil {
+		return nil, err
+	}
+	maxW, err := m.needLocked(secIdxMaxWeight)
+	if err != nil {
+		return nil, err
+	}
+	maxR, err := m.needLocked(secIdxMaxRatio)
+	if err != nil {
+		return nil, err
+	}
+	m.parts = &index.Parts{
+		Terms:     terms,
+		Offsets:   asI32s(offs),
+		Docs:      asPaperIDs(docs),
+		Weights:   asF64s(weights),
+		Norms:     asF64s(norms),
+		MaxWeight: asF64s(maxW),
+		MaxRatio:  asF64s(maxR),
+	}
+	m.hasParts = true
+	return m.parts, nil
+}
+
+// DF materializes (once) the persisted document-frequency table, or
+// (nil, nil) when the state was saved without the index sections.
+func (m *Mapped) DF() (*vector.DF, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dfLocked()
+}
+
+func (m *Mapped) dfLocked() (*vector.DF, error) {
+	if m.st != nil {
+		return m.st.DF, nil
+	}
+	if m.df != nil {
+		return m.df, nil
+	}
+	b, ok, err := m.sectionLocked(secDF)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	c := &cursor{b: b}
+	docs := int(int64(c.u64()))
+	n := int(c.u32())
+	if n < 0 || n > len(b) {
+		return nil, fmt.Errorf("store: DF table declares %d entries in a %d-byte section", n, len(b))
+	}
+	counts := make(map[string]int, n)
+	for i := 0; i < n && !c.fail; i++ {
+		t := c.str()
+		counts[t] = int(c.u32())
+	}
+	if err := c.done(); err != nil {
+		return nil, fmt.Errorf("store: DF table: %w", err)
+	}
+	m.df = vector.FromCounts(docs, counts)
+	return m.df, nil
+}
+
+// MatrixNames returns the persisted score-function names, sorted.
+func (m *Mapped) MatrixNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.st != nil {
+		names := make([]string, 0, len(m.st.Matrices))
+		for name := range m.st.Matrices {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	return append([]string(nil), m.matNames...)
+}
+
+// Matrix materializes (once) one score function's prestige matrix over
+// its mapped CSR sections. Only the requested function's sections are
+// touched — a file carrying three score functions faults in one.
+func (m *Mapped) Matrix(name string) (*prestige.Matrix, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matrixLocked(name)
+}
+
+func (m *Mapped) matrixLocked(name string) (*prestige.Matrix, error) {
+	if m.st != nil {
+		mat := m.st.Matrix(name)
+		if mat == nil {
+			return nil, fmt.Errorf("store: state has no %q score matrix", name)
+		}
+		return mat, nil
+	}
+	if mat := m.mats[name]; mat != nil {
+		return mat, nil
+	}
+	base, ok := m.matDir[name]
+	if !ok {
+		return nil, fmt.Errorf("store: state has no %q score matrix (have %v)", name, m.matNames)
+	}
+	dict, err := m.termDictLocked()
+	if err != nil {
+		return nil, err
+	}
+	refsB, err := m.needLocked(base + matCtxs)
+	if err != nil {
+		return nil, err
+	}
+	offs, err := m.needLocked(base + matOffsets)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := m.needLocked(base + matDocs)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := m.needLocked(base + matVals)
+	if err != nil {
+		return nil, err
+	}
+	rowMax, err := m.needLocked(base + matRowMax)
+	if err != nil {
+		return nil, err
+	}
+	refs := asU32s(refsB)
+	ctxs := make([]ontology.TermID, len(refs))
+	for i, r := range refs {
+		if ctxs[i], err = dictRef(dict, r); err != nil {
+			return nil, err
+		}
+	}
+	mat, err := prestige.FromCSR(ctxs, asI32s(offs), asI32s(docs), asF64s(vals), asF64s(rowMax))
+	if err != nil {
+		return nil, fmt.Errorf("store: matrix %q: %w", name, err)
+	}
+	m.mats[name] = mat
+	return mat, nil
+}
+
+// State materializes the whole file into a State — the compatibility
+// surface for callers (CLI search, experiments) that want everything.
+// Serving paths use the per-component accessors instead, which touch only
+// what they need.
+func (m *Mapped) State() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.st != nil {
+		return m.st, nil
+	}
+	cs, err := m.contextSetLocked()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := m.indexPartsLocked()
+	if err != nil {
+		return nil, err
+	}
+	df, err := m.dfLocked()
+	if err != nil {
+		return nil, err
+	}
+	mats := make(map[string]*prestige.Matrix, len(m.matNames))
+	for _, name := range m.matNames {
+		mat, err := m.matrixLocked(name)
+		if err != nil {
+			return nil, err
+		}
+		mats[name] = mat
+	}
+	m.st = &State{ContextSet: cs, Matrices: mats, Index: parts, DF: df}
+	return m.st, nil
+}
+
+// ZeroCopy reports whether the components alias a memory mapping (false
+// for heap-fallback and gob opens).
+func (m *Mapped) ZeroCopy() bool { return m.mapped }
+
+// MappedBytes returns the size of the open image (0 for gob opens).
+func (m *Mapped) MappedBytes() int { return len(m.data) }
+
+// Retain takes a reference for the duration of a request, guaranteeing
+// the mapping stays valid until the matching Release. It fails once Close
+// has dropped the owner reference and all other retains drained.
+func (m *Mapped) Retain() bool {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release returns a Retain reference; the last release after Close
+// unmaps.
+func (m *Mapped) Release() {
+	if m.refs.Add(-1) == 0 {
+		m.unmap()
+	}
+}
+
+// Close drops the owner reference. Idempotent and safe while requests
+// still hold retains: the mapping is unmapped only when the last
+// reference goes.
+func (m *Mapped) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	m.Release()
+	return nil
+}
+
+func (m *Mapped) unmap() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mapped && m.data != nil {
+		_ = munmap(m.data)
+	}
+	m.data = nil
+}

@@ -7,6 +7,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -15,23 +16,57 @@ import (
 	"path/filepath"
 
 	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/index"
 	"ctxsearch/internal/ontology"
 	"ctxsearch/internal/prestige"
+	"ctxsearch/internal/vector"
 )
 
-// version is the current on-disk format. v1 persisted prestige scores as
-// nested maps (term → paper → score); v2 persists the frozen CSR matrices
-// (flat arrays — smaller on disk and far cheaper to decode); v3 keeps the
-// v2 payload shape but the matrices additionally carry their per-context
-// row maxima (the top-k pruning bounds), so a cold start serves pruned
-// queries without a recomputation pass. Save always writes v3; Load
-// accepts all three, freezing v1 maps and recomputing v2 row maxima on
-// the way in.
+// version is the current gob on-disk format. v1 persisted prestige scores
+// as nested maps (term → paper → score); v2 persists the frozen CSR
+// matrices (flat arrays — smaller on disk and far cheaper to decode); v3
+// keeps the v2 payload shape but the matrices additionally carry their
+// per-context row maxima (the top-k pruning bounds), so a cold start
+// serves pruned queries without a recomputation pass. v4 is not gob at
+// all: a flat sectioned binary built for memory-mapped zero-copy opens
+// (see format.go), written by SaveV4 and opened by Open. Save always
+// writes v3 gob; Load accepts v1–v4, freezing v1 maps and recomputing v2
+// row maxima on the way in.
 const (
 	version   = 3
 	versionV2 = 2
 	versionV1 = 1
 )
+
+// maxStateBytes caps how many bytes Load will consume from a reader
+// (2 GiB). Gob trusts stream-declared lengths, so a garbled length in a
+// corrupt stream could otherwise drive allocation (or an endless read)
+// far past any real state; the cap converts that into the corruption
+// diagnostic. A var so tests can tighten it.
+var maxStateBytes = int64(2) << 30
+
+// errSizeCap marks a read that ran past maxStateBytes.
+var errSizeCap = errors.New("store: stream exceeds the state size sanity cap (garbled length in a corrupt file?)")
+
+// cappedReader returns errSizeCap once n bytes have been read.
+type cappedReader struct {
+	r       io.Reader
+	n       int64
+	tripped bool
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		c.tripped = true
+		return 0, errSizeCap
+	}
+	if int64(len(p)) > c.n {
+		p = p[:c.n]
+	}
+	n, err := c.r.Read(p)
+	c.n -= int64(n)
+	return n, err
+}
 
 // State bundles one context paper set with the prestige scores of any
 // number of score functions computed over it.
@@ -45,6 +80,12 @@ type State struct {
 	// matching matrix; Load leaves it nil for v2 files (populated only when
 	// loading a legacy v1 file, whose maps are also frozen into Matrices).
 	Scores map[string]prestige.Scores
+	// Index and DF are the text-index postings and document-frequency
+	// table. Persisted (together) only by the v4 format, so an open can
+	// skip corpus re-analysis; nil in gob states and in v4 states saved
+	// without them. The v3 writer ignores them.
+	Index *index.Parts
+	DF    *vector.DF
 }
 
 // Matrix returns the frozen matrix of a score function, freezing the map
@@ -108,21 +149,48 @@ func Save(w io.Writer, st *State) error {
 }
 
 // corruptionHint classifies a gob decode failure so diagnostics say whether
-// the file ends early (crash mid-write, partial copy) or is garbled.
+// the file ends early (crash mid-write, partial copy), blew the size
+// sanity cap (garbled length), or is garbled some other way.
 func corruptionHint(err error) string {
+	if errors.Is(err, errSizeCap) {
+		return "exceeds the size sanity cap (garbled length?)"
+	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return "truncated file"
 	}
 	return "corrupt gob stream"
 }
 
-// Load reads a state previously written by Save, rebinding the context set
-// to the given ontology (which must be the one the state was built from).
-// Decode failures are wrapped with what was found — the magic and version
-// when the header survived, or a truncation/corruption classification — so
-// a corrupted -state file produces an actionable message.
+// Load reads a state previously written by Save or SaveV4, rebinding the
+// context set to the given ontology (which must be the one the state was
+// built from). All versions v1–v4 are accepted; a v4 stream is read
+// whole and decoded through the same section machinery as Open (byte-copy
+// semantics — use Open for the zero-copy mapped path). Decode failures
+// are wrapped with what was found — the magic and version when the header
+// survived, or a truncation/corruption classification — so a corrupted
+// -state file produces an actionable message. Reads are capped at
+// maxStateBytes: a garbled gob length fails with the corruption
+// diagnostic instead of an OOM-scale allocation.
 func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
-	dec := gob.NewDecoder(r)
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(len(magicV4)); err == nil && string(head) == magicV4 {
+		capped := &cappedReader{r: br, n: maxStateBytes}
+		raw, err := io.ReadAll(capped)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading v4 stream: %s: %w", corruptionHint(err), err)
+		}
+		// Copy into an 8-aligned buffer so numeric sections reinterpret
+		// exactly as on the mmap path.
+		data := alignedBytes(len(raw))
+		copy(data, raw)
+		m, err := openBytes(data, false, onto)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		return m.State()
+	}
+	capped := &cappedReader{r: br, n: maxStateBytes}
+	dec := gob.NewDecoder(capped)
 	var h header
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("store: decoding header (%s, not a ctxsearch state?): %w", corruptionHint(err), err)
@@ -156,8 +224,12 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 		}
 		snap = p.Snapshot
 		st.Matrices = p.Matrices
+	case versionV4:
+		// Real v4 files are flat binary (caught by the magic peek above),
+		// never gob-framed.
+		return nil, fmt.Errorf("store: gob stream claims version %d, but v4 states are flat binary — corrupt file?", h.Version)
 	default:
-		return nil, fmt.Errorf("store: unsupported version %d (want ≤ %d)", h.Version, version)
+		return nil, tooNewError(h.Version)
 	}
 	cs, err := contextset.FromSnapshot(onto, snap)
 	if err != nil {
@@ -167,11 +239,20 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 	return st, nil
 }
 
-// SaveFile writes the state to path crash-safely: the gob stream goes to a
-// temp file in the same directory, is synced, and is renamed into place, so
-// a crash mid-save leaves either the old state or none — never a truncated
-// file that Load rejects on the next boot.
-func SaveFile(path string, st *State) (err error) {
+// SaveFile writes the state to path crash-safely in the v3 gob format:
+// the stream goes to a temp file in the same directory, is synced, and is
+// renamed into place, so a crash mid-save leaves either the old state or
+// none — never a truncated file that Load rejects on the next boot.
+func SaveFile(path string, st *State) error {
+	return saveFileWith(path, func(w io.Writer) error { return Save(w, st) })
+}
+
+// SaveFileV4 is SaveFile in the flat v4 format (same crash-safe install).
+func SaveFileV4(path string, st *State) error {
+	return saveFileWith(path, func(w io.Writer) error { return SaveV4(w, st) })
+}
+
+func saveFileWith(path string, save func(io.Writer) error) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
@@ -182,7 +263,7 @@ func SaveFile(path string, st *State) (err error) {
 			os.Remove(tmp.Name()) // no-op if already renamed
 		}
 	}()
-	if err = Save(tmp, st); err != nil {
+	if err = save(tmp); err != nil {
 		return err
 	}
 	if err = tmp.Sync(); err != nil {

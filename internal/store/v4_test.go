@@ -1,0 +1,485 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctxsearch/internal/contextset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/index"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+// fixtureWithIndex extends fixture with the artefacts only v4 persists:
+// the corpus (for re-binding checks), the analyzer, the inverted index's
+// parts, and the DF table.
+func fixtureWithIndex(t *testing.T) (*ontology.Ontology, *corpus.Corpus, *corpus.Analyzer, *State) {
+	t.Helper()
+	o, st := fixture(t)
+	c, err := corpus.Generate(o, corpus.DefaultGenConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.NewAnalyzer(c)
+	ix := index.Build(a)
+	st.Index = ix.Parts()
+	st.DF = a.DF()
+	return o, c, a, st
+}
+
+// assertSameContextSet checks every accessor-visible property of two
+// context sets matches — the contract the v4 freeze/thaw must keep.
+func assertSameContextSet(t *testing.T, want, got *contextset.ContextSet) {
+	t.Helper()
+	if want.Kind() != got.Kind() {
+		t.Fatal("kind differs")
+	}
+	wantCtxs, gotCtxs := want.Contexts(), got.Contexts()
+	if !reflect.DeepEqual(wantCtxs, gotCtxs) {
+		t.Fatalf("contexts differ: %d vs %d", len(wantCtxs), len(gotCtxs))
+	}
+	for _, ctx := range wantCtxs {
+		if !reflect.DeepEqual(want.Papers(ctx), got.Papers(ctx)) {
+			t.Fatalf("papers of %s differ", ctx)
+		}
+		wr, wok := want.Representative(ctx)
+		gr, gok := got.Representative(ctx)
+		if wok != gok || wr != gr {
+			t.Fatalf("representative of %s differs", ctx)
+		}
+		for _, p := range want.Papers(ctx) {
+			if want.AssignScore(ctx, p) != got.AssignScore(ctx, p) {
+				t.Fatalf("assign score of %d in %s differs", p, ctx)
+			}
+			if !got.Contains(ctx, p) {
+				t.Fatalf("%s lost member %d", ctx, p)
+			}
+		}
+		if want.Decay(ctx) != got.Decay(ctx) {
+			t.Fatalf("decay of %s differs", ctx)
+		}
+		if want.Size(ctx) != got.Size(ctx) {
+			t.Fatalf("size of %s differs", ctx)
+		}
+	}
+}
+
+// assertSameMatrices checks element-wise equality of every score function.
+func assertSameMatrices(t *testing.T, st *State, got map[string]*prestige.Matrix) {
+	t.Helper()
+	want := make(map[string]*prestige.Matrix, len(st.Matrices)+len(st.Scores))
+	for name, m := range st.Matrices {
+		want[name] = m
+	}
+	for name, s := range st.Scores {
+		if want[name] == nil {
+			want[name] = s.Freeze()
+		}
+	}
+	if len(want) != len(got) {
+		t.Fatalf("matrix count differs: want %d, got %d", len(want), len(got))
+	}
+	for name, w := range want {
+		g := got[name]
+		if g == nil {
+			t.Fatalf("matrix %q missing", name)
+		}
+		if !reflect.DeepEqual(w.Thaw(), g.Thaw()) {
+			t.Fatalf("matrix %q differs element-wise", name)
+		}
+	}
+}
+
+// TestCrossVersionRoundTrip saves the same state in every format
+// generation v1–v4 and checks each loads back to element-wise equal
+// matrices and an equivalent context set.
+func TestCrossVersionRoundTrip(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	writers := map[string]func(*bytes.Buffer) error{
+		"v1": func(b *bytes.Buffer) error { return saveV1(b, st) },
+		"v2": func(b *bytes.Buffer) error { return saveV2(b, st) },
+		"v3": func(b *bytes.Buffer) error { return Save(b, st) },
+		"v4": func(b *bytes.Buffer) error { return SaveV4(b, st) },
+	}
+	for name, write := range writers {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(&buf, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameContextSet(t, st.ContextSet, got.ContextSet)
+			assertSameMatrices(t, st, got.Matrices)
+		})
+	}
+}
+
+// TestV4Deterministic: two saves of the same state are byte-identical.
+func TestV4Deterministic(t *testing.T) {
+	_, _, _, st := fixtureWithIndex(t)
+	var a, b bytes.Buffer
+	if err := SaveV4(&a, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveV4(&b, st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("v4 encoding is not deterministic")
+	}
+}
+
+// TestOpenV4 exercises the mmap path end to end: open, lazily materialize
+// every component, verify equality against the saved state, and check the
+// refcounted lifecycle (double Close is idempotent; Retain after close
+// fails).
+func TestOpenV4(t *testing.T) {
+	o, _, a, st := fixtureWithIndex(t)
+	path := filepath.Join(t.TempDir(), "state.v4")
+	if err := SaveFileV4(path, st); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m.ContextSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContextSet(t, st.ContextSet, cs)
+	names := m.MatrixNames()
+	if want := []string{"citation", "text"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("matrix names %v, want %v", names, want)
+	}
+	mats := make(map[string]*prestige.Matrix, len(names))
+	for _, name := range names {
+		if mats[name], err = m.Matrix(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameMatrices(t, st, mats)
+	parts, err := m.IndexParts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts == nil {
+		t.Fatal("index parts not persisted")
+	}
+	if _, err := index.FromParts(a, parts); err != nil {
+		t.Fatalf("mapped parts do not bind: %v", err)
+	}
+	df, err := m.DF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDocs, wantCounts := st.DF.Counts()
+	gotDocs, gotCounts := df.Counts()
+	if wantDocs != gotDocs || !reflect.DeepEqual(wantCounts, gotCounts) {
+		t.Fatal("DF table differs after mmap open")
+	}
+	// Lifecycle: a retained reference outlives Close; double Close is safe.
+	if !m.Retain() {
+		t.Fatal("Retain on open mapping failed")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	// Still readable under the outstanding reference.
+	if _, err := m.Matrix("text"); err != nil {
+		t.Fatalf("read under retained reference after Close: %v", err)
+	}
+	m.Release()
+	if m.Retain() {
+		t.Fatal("Retain succeeded after the last reference released")
+	}
+}
+
+// TestOpenNoMmapFallback forces the byte-copy path and checks it decodes
+// identically (the CI no-mmap job runs the whole package this way too).
+func TestOpenNoMmapFallback(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	path := filepath.Join(t.TempDir(), "state.v4")
+	if err := SaveFileV4(path, st); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(noMmapEnv, "1")
+	m, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.ZeroCopy() {
+		t.Fatal("ZeroCopy reported under CTXSEARCH_NO_MMAP=1")
+	}
+	cs, err := m.ContextSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContextSet(t, st.ContextSet, cs)
+}
+
+// TestOpenGobFallback: Open on a gob state serves the same accessor API.
+func TestOpenGobFallback(t *testing.T) {
+	o, st := fixture(t)
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.ZeroCopy() {
+		t.Fatal("gob open claims zero-copy")
+	}
+	cs, err := m.ContextSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContextSet(t, st.ContextSet, cs)
+	parts, err := m.IndexParts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts != nil {
+		t.Fatal("gob state reports index parts")
+	}
+	if _, err := m.Matrix("text"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Matrix("no-such-fn"); err == nil {
+		t.Fatal("unknown matrix name did not error")
+	}
+}
+
+// v4Bytes renders the fixture state as a v4 image.
+func v4Bytes(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveV4(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// patchTableCRC recomputes the section-table checksum after a test edits
+// table bytes (so the edit under test, not the table CRC, trips).
+func patchTableCRC(img []byte) {
+	count := binary.LittleEndian.Uint32(img[12:])
+	table := img[headerSize : headerSize+int(count)*secHdrSize]
+	binary.LittleEndian.PutUint32(img[16:], crc32.Checksum(table, castagnoli))
+}
+
+func TestOpenTruncatedSectionTable(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	cut := headerSize + secHdrSize/2 // mid-way through the first entry
+	data := alignedBytes(cut)
+	copy(data, img[:cut])
+	_, err := openBytes(data, false, o)
+	if err == nil || !strings.Contains(err.Error(), "truncated section table") {
+		t.Fatalf("truncated table not diagnosed: %v", err)
+	}
+}
+
+func TestOpenTableCRCMismatch(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	img[headerSize+8] ^= 0xFF // corrupt a table entry without re-patching
+	data := alignedBytes(len(img))
+	copy(data, img)
+	_, err := openBytes(data, false, o)
+	if err == nil || !strings.Contains(err.Error(), "section table CRC mismatch") {
+		t.Fatalf("table corruption not diagnosed: %v", err)
+	}
+}
+
+func TestOpenUnalignedSection(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	// Nudge the CS scores (f64) section offset by 4: no longer 8-aligned.
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	for i := 0; i < count; i++ {
+		e := img[headerSize+i*secHdrSize:]
+		if binary.LittleEndian.Uint32(e[0:]) == secCSScores {
+			binary.LittleEndian.PutUint64(e[8:], binary.LittleEndian.Uint64(e[8:])+4)
+			break
+		}
+	}
+	patchTableCRC(img)
+	data := alignedBytes(len(img))
+	copy(data, img)
+	_, err := openBytes(data, false, o)
+	if err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Fatalf("unaligned section not diagnosed: %v", err)
+	}
+}
+
+func TestOpenSectionBeyondFile(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	// Point the CS docs section past EOF (a truncated copy would look the
+	// same: table intact, payload missing).
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	for i := 0; i < count; i++ {
+		e := img[headerSize+i*secHdrSize:]
+		if binary.LittleEndian.Uint32(e[0:]) == secCSDocs {
+			// Aligned, so the bounds check (not alignment) is what trips.
+			binary.LittleEndian.PutUint64(e[8:], alignUp(uint64(len(img)), secAlign))
+			break
+		}
+	}
+	patchTableCRC(img)
+	data := alignedBytes(len(img))
+	copy(data, img)
+	_, err := openBytes(data, false, o)
+	if err == nil || !strings.Contains(err.Error(), "truncated?") {
+		t.Fatalf("out-of-bounds section not diagnosed: %v", err)
+	}
+}
+
+// TestOpenLazyCRCMismatch: payload corruption is caught on first touch of
+// the corrupted section — the open itself (which only reads the header,
+// table, and directory) still succeeds.
+func TestOpenLazyCRCMismatch(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	// Find the CS docs payload and flip a byte in its middle.
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	for i := 0; i < count; i++ {
+		e := img[headerSize+i*secHdrSize:]
+		if binary.LittleEndian.Uint32(e[0:]) == secCSDocs {
+			off := binary.LittleEndian.Uint64(e[8:])
+			length := binary.LittleEndian.Uint64(e[16:])
+			img[off+length/2] ^= 0xFF
+			break
+		}
+	}
+	data := alignedBytes(len(img))
+	copy(data, img)
+	m, err := openBytes(data, false, o)
+	if err != nil {
+		t.Fatalf("open must not fault payload pages in: %v", err)
+	}
+	// Matrices don't touch the corrupted section — still fine.
+	if _, err := m.Matrix("text"); err != nil {
+		t.Fatalf("uncorrupted section failed: %v", err)
+	}
+	if _, err := m.ContextSet(); err == nil || !strings.Contains(err.Error(), "CRC mismatch") {
+		t.Fatalf("payload corruption not caught on first touch: %v", err)
+	}
+}
+
+// TestOpenTooNew: a version from the future names itself and the fix.
+func TestOpenTooNew(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	binary.LittleEndian.PutUint32(img[8:], versionV4+3)
+	data := alignedBytes(len(img))
+	copy(data, img)
+	_, err := openBytes(data, false, o)
+	if err == nil {
+		t.Fatal("future version opened successfully")
+	}
+	for _, want := range []string{"version 7", "newer ctxsearch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("too-new error missing %q: %v", want, err)
+		}
+	}
+	// The same file through a path-based Open (the serve boot path).
+	path := filepath.Join(t.TempDir(), "state.v4")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, o); err == nil || !strings.Contains(err.Error(), "newer ctxsearch") {
+		t.Fatalf("Open did not surface the too-new hint: %v", err)
+	}
+}
+
+// saveWithVersion writes a gob stream with an arbitrary header version —
+// the fixture generator for future-version diagnostics.
+func saveWithVersion(w io.Writer, st *State, ver int) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: "ctxsearch-state", Version: ver}); err != nil {
+		return err
+	}
+	return enc.Encode(payloadV2{Snapshot: st.ContextSet.Snapshot(), Matrices: nil})
+}
+
+// TestGobTooNewVersion: a gob header claiming a future version gets the
+// same upgrade hint (v4 itself is special-cased: real v4 files are never
+// gob-framed, so a gob stream claiming 4 is corruption).
+func TestGobTooNewVersion(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := saveWithVersion(&buf, st, 9); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf, o)
+	if err == nil || !strings.Contains(err.Error(), "newer ctxsearch") {
+		t.Fatalf("future gob version not diagnosed: %v", err)
+	}
+	buf.Reset()
+	if err := saveWithVersion(&buf, st, versionV4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, o); err == nil || !strings.Contains(err.Error(), "flat binary") {
+		t.Fatalf("gob-framed v4 not diagnosed as corruption: %v", err)
+	}
+}
+
+// TestLoadSizeCap: a stream larger than the sanity cap fails with the
+// garbled-length diagnostic instead of consuming unbounded memory.
+func TestLoadSizeCap(t *testing.T) {
+	o, st := fixture(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	old := maxStateBytes
+	maxStateBytes = int64(buf.Len() / 2)
+	defer func() { maxStateBytes = old }()
+	_, err := Load(bytes.NewReader(buf.Bytes()), o)
+	if err == nil || !strings.Contains(err.Error(), "sanity cap") {
+		t.Fatalf("oversized stream not capped: %v", err)
+	}
+}
+
+// TestV4BitFlips corrupts single bytes across a v4 image: opening plus
+// materializing every component must either fail cleanly or produce
+// equivalent state — never panic. Unlike gob, v4's per-section CRCs make
+// silent absorption of payload flips impossible.
+func TestV4BitFlips(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v4Bytes(t, st)
+	step := len(img)/29 + 1
+	for off := 0; off < len(img); off += step {
+		data := alignedBytes(len(img))
+		copy(data, img)
+		data[off] ^= 0xFF
+		m, err := openBytes(data, false, o)
+		if err != nil {
+			continue // rejected at open: fine
+		}
+		if _, err := m.State(); err == nil {
+			t.Fatalf("offset %d: corrupted image materialized without error", off)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/prestige"
+)
+
+// sectionData is one section queued for writing.
+type sectionData struct {
+	id   uint32
+	kind uint32
+	data []byte
+}
+
+// SaveV4 writes the state to w in the flat v4 format (see format.go for
+// the layout). The context set is flattened to its frozen CSR+bitmap
+// arrays, each prestige matrix's CSR arrays are written verbatim, and —
+// when the state carries them — the text index's postings and the DF
+// table go along, so an open skips corpus re-analysis entirely. The
+// layout is deterministic: sections in fixed ID order, dictionaries and
+// directories sorted.
+func SaveV4(w io.Writer, st *State) error {
+	if st == nil || st.ContextSet == nil {
+		return fmt.Errorf("store: nil state or context set")
+	}
+	f := st.ContextSet.Freeze()
+	mats := make(map[string]*prestige.Matrix, len(st.Matrices)+len(st.Scores))
+	for name, m := range st.Matrices {
+		mats[name] = m
+	}
+	for name, s := range st.Scores {
+		if mats[name] == nil {
+			mats[name] = s.Freeze()
+		}
+	}
+	names := make([]string, 0, len(mats))
+	for name := range mats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Shared term dictionary: every ontology term referenced anywhere in
+	// the state, sorted, referenced by index everywhere else.
+	termSet := make(map[ontology.TermID]struct{})
+	for _, t := range f.Ctxs {
+		termSet[t] = struct{}{}
+	}
+	for t := range f.Reps {
+		termSet[t] = struct{}{}
+	}
+	for t := range f.Decay {
+		termSet[t] = struct{}{}
+	}
+	for t, a := range f.InheritedFrom {
+		termSet[t] = struct{}{}
+		termSet[a] = struct{}{}
+	}
+	for _, name := range names {
+		ctxs, _, _, _, _ := mats[name].CSR()
+		for _, t := range ctxs {
+			termSet[t] = struct{}{}
+		}
+	}
+	terms := make([]ontology.TermID, 0, len(termSet))
+	for t := range termSet {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	ref := make(map[ontology.TermID]uint32, len(terms))
+	for i, t := range terms {
+		ref[t] = uint32(i)
+	}
+
+	var secs []sectionData
+	add := func(id, kind uint32, data []byte) {
+		secs = append(secs, sectionData{id: id, kind: kind, data: data})
+	}
+
+	var td builder
+	td.u32(uint32(len(terms)))
+	for _, t := range terms {
+		td.str(string(t))
+	}
+	add(secTermDict, kindBytes, td.b)
+
+	var mb builder
+	mb.u32(uint32(f.Kind))
+	mb.u32(uint32(len(f.Ctxs)))
+	for _, t := range f.Ctxs {
+		mb.u32(ref[t])
+	}
+	// Reps, decay, inheritedFrom: sorted by term for determinism.
+	mb.u32(uint32(len(f.Reps)))
+	for _, t := range sortedTermKeys(len(f.Reps), func(yield func(ontology.TermID)) {
+		for k := range f.Reps {
+			yield(k)
+		}
+	}) {
+		mb.u32(ref[t])
+		mb.u64(uint64(int64(f.Reps[t])))
+	}
+	mb.u32(uint32(len(f.Decay)))
+	for _, t := range sortedTermKeys(len(f.Decay), func(yield func(ontology.TermID)) {
+		for k := range f.Decay {
+			yield(k)
+		}
+	}) {
+		mb.u32(ref[t])
+		mb.f64(f.Decay[t])
+	}
+	mb.u32(uint32(len(f.InheritedFrom)))
+	for _, t := range sortedTermKeys(len(f.InheritedFrom), func(yield func(ontology.TermID)) {
+		for k := range f.InheritedFrom {
+			yield(k)
+		}
+	}) {
+		mb.u32(ref[t])
+		mb.u32(ref[f.InheritedFrom[t]])
+	}
+	add(secCSMeta, kindBytes, mb.b)
+
+	add(secCSOffsets, kindI32, encodeI32s(f.Offsets))
+	add(secCSDocs, kindI64, encodePaperIDs(f.Docs))
+	add(secCSScores, kindF64, encodeF64s(f.Scores))
+	add(secCSWordOffs, kindI32, encodeI32s(f.WordOffsets))
+	add(secCSWords, kindU64, encodeU64s(f.Words))
+
+	// Matrix directory and per-matrix sections.
+	var dir builder
+	dir.u32(uint32(len(names)))
+	for i, name := range names {
+		base := secMatrixBase + secMatrixStride*uint32(i)
+		dir.str(name)
+		dir.u32(base)
+		ctxs, offsets, docs, vals, rowMax := mats[name].CSR()
+		refs := make([]uint32, len(ctxs))
+		for k, t := range ctxs {
+			refs[k] = ref[t]
+		}
+		add(base+matCtxs, kindU32, encodeU32s(refs))
+		add(base+matOffsets, kindI32, encodeI32s(offsets))
+		add(base+matDocs, kindI32, encodeI32s(docs))
+		add(base+matVals, kindF64, encodeF64s(vals))
+		add(base+matRowMax, kindF64, encodeF64s(rowMax))
+	}
+	add(secMatrixDir, kindBytes, dir.b)
+
+	// Text index + DF table (optional: only when the state carries them).
+	if (st.Index == nil) != (st.DF == nil) {
+		return fmt.Errorf("store: index parts and DF table must be saved together")
+	}
+	if st.Index != nil {
+		p := st.Index
+		var it builder
+		it.u32(uint32(len(p.Terms)))
+		for _, t := range p.Terms {
+			it.str(t)
+		}
+		add(secIdxTerms, kindBytes, it.b)
+		add(secIdxOffsets, kindI32, encodeI32s(p.Offsets))
+		add(secIdxDocs, kindI64, encodePaperIDs(p.Docs))
+		add(secIdxWeights, kindF64, encodeF64s(p.Weights))
+		add(secIdxNorms, kindF64, encodeF64s(p.Norms))
+		add(secIdxMaxWeight, kindF64, encodeF64s(p.MaxWeight))
+		add(secIdxMaxRatio, kindF64, encodeF64s(p.MaxRatio))
+
+		docs, counts := st.DF.Counts()
+		dfTerms := make([]string, 0, len(counts))
+		for t := range counts {
+			dfTerms = append(dfTerms, t)
+		}
+		sort.Strings(dfTerms)
+		var db builder
+		db.u64(uint64(docs))
+		db.u32(uint32(len(dfTerms)))
+		for _, t := range dfTerms {
+			db.str(t)
+			db.u32(uint32(counts[t]))
+		}
+		add(secDF, kindBytes, db.b)
+	}
+
+	return writeSections(w, secs)
+}
+
+// sortedTermKeys collects term IDs from an iterator and returns them
+// sorted — the deterministic map-walk order of the metadata encoders.
+func sortedTermKeys(n int, iter func(yield func(ontology.TermID))) []ontology.TermID {
+	out := make([]ontology.TermID, 0, n)
+	iter(func(t ontology.TermID) { out = append(out, t) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// alignUp rounds n up to the next multiple of align (a power of two).
+func alignUp(n, align uint64) uint64 { return (n + align - 1) &^ (align - 1) }
+
+// writeSections lays out the header, section table, and aligned data and
+// streams them to w.
+func writeSections(w io.Writer, secs []sectionData) error {
+	if len(secs) > maxSections {
+		return fmt.Errorf("store: %d sections exceeds the format limit %d", len(secs), maxSections)
+	}
+	table := make([]byte, len(secs)*secHdrSize)
+	off := alignUp(uint64(headerSize+len(table)), secAlign)
+	for i := range secs {
+		s := &secs[i]
+		e := table[i*secHdrSize:]
+		binary.LittleEndian.PutUint32(e[0:], s.id)
+		binary.LittleEndian.PutUint32(e[4:], s.kind)
+		binary.LittleEndian.PutUint64(e[8:], off)
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+		binary.LittleEndian.PutUint32(e[24:], crc32.Checksum(s.data, castagnoli))
+		binary.LittleEndian.PutUint32(e[28:], 0)
+		off = alignUp(off+uint64(len(s.data)), secAlign)
+	}
+
+	var hdr [headerSize]byte
+	copy(hdr[:8], magicV4)
+	binary.LittleEndian.PutUint32(hdr[8:], versionV4)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(secs)))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[20:], 0)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: writing v4 header: %w", err)
+	}
+	if _, err := w.Write(table); err != nil {
+		return fmt.Errorf("store: writing v4 section table: %w", err)
+	}
+	pos := uint64(headerSize + len(table))
+	var pad [secAlign]byte
+	for i := range secs {
+		s := &secs[i]
+		if p := alignUp(pos, secAlign) - pos; p > 0 {
+			if _, err := w.Write(pad[:p]); err != nil {
+				return fmt.Errorf("store: writing v4 padding: %w", err)
+			}
+			pos += p
+		}
+		if _, err := w.Write(s.data); err != nil {
+			return fmt.Errorf("store: writing v4 section %d: %w", s.id, err)
+		}
+		pos += uint64(len(s.data))
+	}
+	return nil
+}

@@ -64,3 +64,25 @@ func (d *DF) Weight(tf Sparse) Sparse {
 	}
 	return out
 }
+
+// FromCounts constructs a DF table directly from a document count and
+// per-term document frequencies, taking ownership of the map — the state
+// deserialization path. Weighting under the reconstructed table is
+// bit-identical to the original's (IDF depends only on docs and the
+// per-term counts).
+func FromCounts(docs int, df map[string]int) *DF {
+	if df == nil {
+		df = make(map[string]int)
+	}
+	return &DF{docs: docs, df: df}
+}
+
+// Counts returns the document count and a copy of the per-term document
+// frequencies — the serialization inverse of FromCounts.
+func (d *DF) Counts() (int, map[string]int) {
+	out := make(map[string]int, len(d.df))
+	for t, n := range d.df {
+		out[t] = n
+	}
+	return d.docs, out
+}
