@@ -57,10 +57,14 @@ bench-build:
 	$(GO) test -run xxx -bench 'BenchmarkPosIndexBuildWorkers' -benchmem ./internal/pattern/
 	$(GO) test -run xxx -bench 'BenchmarkSystemBuild' -benchmem .
 
-# The exact-top-k benchmarks behind BENCH_PR5.json: the MaxScore-pruned
-# vector search vs the exhaustive Limit-0 pass over a large context, the
-# bounded-selection engine merge at page sizes 10/100 vs the full ranked
-# list, and the result-cache hit path (must stay allocation-free).
+# The exact-top-k benchmarks behind BENCH_PR5.json and BENCH_PR9.json: the
+# block-max MaxScore vector search vs the exhaustive Limit-0 pass over a
+# large context — including the block-size sweep (Block0/64/128/256, where
+# 0 disables the block tables and reproduces the pre-block PR 5 evaluator)
+# and the pooled-scratch append path (Append10 must report 0 B/op and
+# 0 allocs/op) — the bounded-selection engine merge at page sizes 10/100 vs
+# the full ranked list, and the result-cache hit path (must stay
+# allocation-free).
 bench-topk:
 	$(GO) test -run xxx -bench 'BenchmarkSearchVectorContextTopK' -benchmem ./internal/index/
 	$(GO) test -run xxx -bench 'BenchmarkEngineSearch8|BenchmarkEngineSearchTop' -benchmem ./internal/search/

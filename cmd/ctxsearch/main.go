@@ -157,7 +157,8 @@ type app struct {
 	limit   int
 	boolean bool
 	// stateFormat picks the on-disk format when compute saves -state:
-	// "v3" (gob) or "v4" (flat binary with the text index and DF table).
+	// "v3" (gob), "v4" (flat binary with the text index and DF table), or
+	// "v5" (v4 plus the index's block-max tables).
 	stateFormat string
 }
 
@@ -180,7 +181,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	limit := fs.Int("limit", 15, "max results")
 	boolean := fs.Bool("boolean", false, "treat the search query as a boolean expression (AND/OR/NOT, \"phrases\", field:term)")
 	statePath := fs.String("state", "", "context-set + scores gob file (load if present, else save)")
-	stateFormat := fs.String("state-format", "v3", "state file format when saving: v3 (gob) | v4 (flat binary, mmap-ready; also persists the text index + DF table so serve skips corpus analysis)")
+	stateFormat := fs.String("state-format", "v3", "state file format when saving: v3 (gob) | v4 (flat binary, mmap-ready; also persists the text index + DF table so serve skips corpus analysis) | v5 (v4 plus the index's block-max tables, skipping their recompute on open)")
+	blockSize := fs.Int("block-size", 0, "inverted-index block-max granularity in postings per block (0 = default 128, negative = disable block tables; results identical at any setting)")
 	buildWorkers := fs.Int("build-workers", 0, "offline-build parallelism (0 = GOMAXPROCS; output identical at any setting)")
 	verbose := fs.Bool("v", false, "print the offline-build timing summary")
 	addr := fs.String("addr", ":8080", "listen address for serve")
@@ -215,8 +217,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("missing command")
 	}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
-	if *stateFormat != "v3" && *stateFormat != "v4" {
-		return fmt.Errorf("unknown -state-format %q (want v3 or v4)", *stateFormat)
+	if *stateFormat != "v3" && *stateFormat != "v4" && *stateFormat != "v5" {
+		return fmt.Errorf("unknown -state-format %q (want v3, v4, or v5)", *stateFormat)
 	}
 
 	cfg := ctxsearch.DefaultConfig()
@@ -224,6 +226,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	cfg.Papers = *papers
 	cfg.OntologyTerms = *terms
 	cfg.BuildWorkers = *buildWorkers
+	cfg.IndexBlockSize = *blockSize
 
 	if cmd == "serve" || cmd == "shard" {
 		o := serveOpts{
@@ -231,7 +234,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			corpusPath: *corpusPath, oboPath: *oboPath,
 			setKind: *setKind, scoreFn: *scoreFn, statePath: *statePath,
 			stateFormat: *stateFormat,
-			addr: *addr, debugAddr: *debugAddr,
+			addr:        *addr, debugAddr: *debugAddr,
 			queryTimeout: *queryTimeout, maxInflight: *maxInflight,
 			readTimeout: *httpReadTimeout, writeTimeout: *httpWriteTimeout,
 			idleTimeout: *httpIdleTimeout, shutdownTimeout: *shutdownTimeout,
@@ -738,12 +741,17 @@ func (a *app) compute(setKind, scoreFn, statePath string) error {
 	if statePath != "" {
 		st := &store.State{ContextSet: a.cs, Matrices: map[string]*ctxsearch.Matrix{scoreFn: a.matrix}}
 		save := store.SaveFile
-		if a.stateFormat == "v4" {
-			// v4 additionally persists the text-index postings and the DF
-			// table, so the serving boot maps the file and skips analysis.
+		if a.stateFormat == "v4" || a.stateFormat == "v5" {
+			// The flat formats additionally persist the text-index postings
+			// and the DF table, so the serving boot maps the file and skips
+			// analysis; v5 also persists the block-max tables, so the bind
+			// skips their recompute.
 			st.Index = a.sys.Index().Parts()
 			st.DF = a.sys.Analyzer().DF()
 			save = store.SaveFileV4
+			if a.stateFormat == "v5" {
+				save = store.SaveFileV5
+			}
 		}
 		var serr error
 		a.sys.BuildStats().Time("state-save", 0, "", func() {

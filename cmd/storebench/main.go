@@ -1,6 +1,7 @@
 // Command storebench measures state-file cold start: the wall time and
 // memory cost of going from a file on disk to engine-ready bound state, gob
-// (v3) versus flat-binary mmap (v4), at one and many concurrent processes.
+// (v3) versus flat-binary mmap (v4, and v5 with persisted block-max
+// tables), at one and many concurrent processes.
 //
 // The parent builds one synthetic state, saves it in both formats, then
 // re-execs itself as child processes that each open the file, bind every
@@ -42,13 +43,14 @@ const (
 
 func main() {
 	var (
-		papers = flag.Int("papers", 2000, "synthetic corpus size")
-		terms  = flag.Int("terms", 250, "synthetic ontology size")
-		procs  = flag.String("procs", "1,8", "comma-separated process counts")
-		out    = flag.String("out", "", "write the JSON report here (default stdout)")
-		child  = flag.Bool("child", false, "internal: run one open+bind measurement and exit")
-		format = flag.String("format", "", "internal: child state format (v3|v4)")
-		path   = flag.String("path", "", "internal: child state file path")
+		papers  = flag.Int("papers", 2000, "synthetic corpus size")
+		terms   = flag.Int("terms", 250, "synthetic ontology size")
+		procs   = flag.String("procs", "1,8", "comma-separated process counts")
+		out     = flag.String("out", "", "write the JSON report here (default stdout)")
+		formats = flag.String("state-formats", "v3,v4,v5", "comma-separated state formats to measure (v3|v4|v5)")
+		child   = flag.Bool("child", false, "internal: run one open+bind measurement and exit")
+		format  = flag.String("format", "", "internal: child state format (v3|v4|v5)")
+		path    = flag.String("path", "", "internal: child state file path")
 	)
 	flag.Parse()
 	if *child {
@@ -58,7 +60,7 @@ func main() {
 		}
 		return
 	}
-	if err := runParent(*papers, *terms, *procs, *out); err != nil {
+	if err := runParent(*papers, *terms, *procs, *formats, *out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -94,7 +96,7 @@ func runChild(format, path string, terms int) error {
 				return fmt.Errorf("matrix %q missing", name)
 			}
 		}
-	case "v4":
+	case "v4", "v5":
 		m, err := store.Open(path, o)
 		if err != nil {
 			return err
@@ -108,8 +110,15 @@ func runChild(format, path string, terms int) error {
 				return err
 			}
 		}
-		if _, err := m.IndexParts(); err != nil {
+		parts, err := m.IndexParts()
+		if err != nil {
 			return err
+		}
+		if parts != nil {
+			// v4 states carry no block-max tables; engine bind recomputes
+			// them over every posting (v5 binds them zero-copy). Charge
+			// that cost here so the formats stay comparable end to end.
+			parts.EnsureBlockTables(0)
 		}
 		if _, err := m.DF(); err != nil {
 			return err
@@ -177,7 +186,7 @@ type report struct {
 	Note     string                 `json:"note"`
 }
 
-func runParent(papers, terms int, procsSpec, out string) error {
+func runParent(papers, terms int, procsSpec, formatsSpec, out string) error {
 	var counts []int
 	for _, s := range strings.Split(procsSpec, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -185,6 +194,22 @@ func runParent(papers, terms int, procsSpec, out string) error {
 			return fmt.Errorf("bad -procs entry %q", s)
 		}
 		counts = append(counts, n)
+	}
+	savers := map[string]func(string, *store.State) error{
+		"v3": store.SaveFile,
+		"v4": store.SaveFileV4,
+		"v5": store.SaveFileV5,
+	}
+	var formats []string
+	for _, s := range strings.Split(formatsSpec, ",") {
+		f := strings.TrimSpace(s)
+		if savers[f] == nil {
+			return fmt.Errorf("bad -state-formats entry %q (want v3|v4|v5)", s)
+		}
+		formats = append(formats, f)
+	}
+	if len(formats) == 0 {
+		return fmt.Errorf("-state-formats selects no formats")
 	}
 
 	fmt.Fprintf(os.Stderr, "building synthetic state (%d papers, %d terms)...\n", papers, terms)
@@ -213,15 +238,12 @@ func runParent(papers, terms int, procsSpec, out string) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	paths := map[string]string{
-		"v3": filepath.Join(dir, "state.v3"),
-		"v4": filepath.Join(dir, "state.v4"),
-	}
-	if err := store.SaveFile(paths["v3"], st); err != nil {
-		return err
-	}
-	if err := store.SaveFileV4(paths["v4"], st); err != nil {
-		return err
+	paths := make(map[string]string, len(formats))
+	for _, f := range formats {
+		paths[f] = filepath.Join(dir, "state."+f)
+		if err := savers[f](paths[f], st); err != nil {
+			return err
+		}
 	}
 
 	self, err := os.Executable()
@@ -232,7 +254,7 @@ func runParent(papers, terms int, procsSpec, out string) error {
 		PR:       8,
 		Title:    "Zero-copy mmap state format (v4): O(1) cold start for shards and replicas",
 		Machine:  fmt.Sprintf("%s, %s/%s", cpuModel(), runtime.GOOS, runtime.GOARCH),
-		Method:   "each process opens the state file and binds every section (context set, matrices, index parts, DF; v4 first-touch CRC included); times exclude ontology generation; memory deltas from /proc/self/{status,smaps_rollup}; see `make bench-store`.",
+		Method:   "each process opens the state file and binds every section (context set, matrices, index parts, DF; flat-format first-touch CRC included, plus the block-max table recompute that binding a state without persisted tables pays — v5 carries them, v3/v4 recompute); times exclude ontology generation; memory deltas from /proc/self/{status,smaps_rollup}; see `make bench-store`.",
 		Corpus:   map[string]int{"papers": papers, "ontology_terms": terms},
 		FileSize: map[string]int64{},
 		Runs:     map[string][]formatRun{},
@@ -246,7 +268,7 @@ func runParent(papers, terms int, procsSpec, out string) error {
 		rep.FileSize[f] = fi.Size()
 	}
 
-	for _, format := range []string{"v3", "v4"} {
+	for _, format := range formats {
 		for _, n := range counts {
 			run, err := spawn(self, format, paths[format], terms, n)
 			if err != nil {

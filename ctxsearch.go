@@ -113,6 +113,13 @@ type Config struct {
 	// bit-identical at any setting: papers are sharded into contiguous ID
 	// ranges and per-shard results merge deterministically.
 	BuildWorkers int
+	// IndexBlockSize sets the inverted index's block-max granularity
+	// (postings per block) backing the pruned top-k evaluator: 0 selects
+	// index.DefaultBlockSize, a negative value disables block tables
+	// entirely (global per-term bounds only — the pre-block evaluator).
+	// Search results are bit-identical at every setting; only pruning
+	// power, and with it query latency, changes.
+	IndexBlockSize int
 }
 
 // DefaultConfig returns the experiments' configuration at a laptop-friendly
@@ -131,6 +138,18 @@ func DefaultConfig() Config {
 		Relevancy:      search.DefaultWeights(),
 		MinContextSize: -1, // -1 = derive from corpus size
 	}
+}
+
+// indexBlockSize resolves IndexBlockSize to the value index.BuildWorkersBlock
+// expects: the package default for 0, 0 (disabled) for negatives.
+func (c *Config) indexBlockSize() int {
+	switch {
+	case c.IndexBlockSize < 0:
+		return 0
+	case c.IndexBlockSize == 0:
+		return index.DefaultBlockSize
+	}
+	return c.IndexBlockSize
 }
 
 func (c *Config) minContextSize(corpusLen int) int {
@@ -196,7 +215,7 @@ func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
 		s.analyzer.Warm(workers)
 	})
 	st.Time("index", c.Len(), "papers", func() {
-		s.index = index.BuildWorkers(s.analyzer, workers)
+		s.index = index.BuildWorkersBlock(s.analyzer, workers, cfg.indexBlockSize())
 	})
 	st.Time("posindex", c.Len(), "papers", func() {
 		s.posIndex = pattern.NewPosIndexWorkers(s.analyzer, workers)

@@ -17,6 +17,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ctxsearch/internal/bitset"
 	"ctxsearch/internal/corpus"
@@ -29,6 +30,15 @@ import (
 // the hot path branch-cheap while still stopping an abandoned query within
 // a few thousand documents.
 const cancelCheckMask = 8192 - 1
+
+// DefaultBlockSize is the block-max granularity of the inverted index:
+// every term's posting run is partitioned into blocks of this many postings
+// and per-block maxima are recorded alongside the global per-term maxima.
+// 128 keeps the tables at ~1.6% of the posting columns (two float64 per 128
+// posting entries) while making block bounds tight enough for the top-k
+// evaluator to skip most candidates (see topk.go). Any positive block size
+// produces bit-identical search results; only pruning power changes.
+const DefaultBlockSize = 128
 
 // Hit is one search result.
 type Hit struct {
@@ -56,8 +66,26 @@ type Index struct {
 	// maxRatio[t] the largest weight/‖doc‖ over its postings.
 	maxWeight []float64
 	maxRatio  []float64
-	// accPool recycles dense score accumulators across searches.
-	accPool sync.Pool
+	// Block-max tables (see topk.go): term t's posting run is split into
+	// fixed-size blocks of blockSize postings; its blocks occupy
+	// blockMaxWeight[blockOffsets[t]:blockOffsets[t+1]] (and likewise
+	// blockMaxRatio), block b covering postings
+	// [offsets[t]+b·blockSize, min(offsets[t]+(b+1)·blockSize, offsets[t+1])).
+	// blockOffsets is nil when the index was built without block tables
+	// (blockSize <= 0); the evaluator then falls back to the global maxima.
+	blockSize      int
+	blockOffsets   []int32
+	blockMaxWeight []float64
+	blockMaxRatio  []float64
+	// accPool recycles dense score accumulators across searches; topkPool
+	// recycles per-query top-k evaluation scratch (see topk.go).
+	accPool  sync.Pool
+	topkPool sync.Pool
+	// statVisited/statSkipped count, across all top-k queries since the last
+	// reset, candidate documents fully evaluated vs. postings jumped over by
+	// block-max pruning. Each query accumulates locally and flushes once.
+	statVisited atomic.Uint64
+	statSkipped atomic.Uint64
 }
 
 // accum is a reusable dense scoring scratchpad: val holds partial dot
@@ -82,10 +110,20 @@ func Build(a *corpus.Analyzer) *Index { return BuildWorkers(a, 0) }
 // counts are order-independent integer sums, and because shards are
 // contiguous ID ranges, writing shard s's postings after all of shard
 // s-1's reproduces exactly the ascending-doc posting layout of the
-// sequential build. workers <= 0 selects GOMAXPROCS.
+// sequential build. workers <= 0 selects GOMAXPROCS. Block-max tables are
+// built at DefaultBlockSize; use BuildWorkersBlock to override.
 func BuildWorkers(a *corpus.Analyzer, workers int) *Index {
+	return BuildWorkersBlock(a, workers, DefaultBlockSize)
+}
+
+// BuildWorkersBlock is BuildWorkers with an explicit block-max block size
+// (postings per block). blockSize <= 0 disables block tables entirely: the
+// top-k evaluator then prunes with the global per-term maxima only —
+// useful as the baseline arm of pruning benchmarks. Search results are
+// bit-identical at every setting.
+func BuildWorkersBlock(a *corpus.Analyzer, workers, blockSize int) *Index {
 	c := a.Corpus()
-	return buildPapers(a, sortedPapers(c, 0, c.Len()), workers)
+	return buildPapers(a, sortedPapers(c, 0, c.Len()), workers, blockSize)
 }
 
 // BuildRangeWorkers constructs an index over only the papers with
@@ -97,7 +135,13 @@ func BuildWorkers(a *corpus.Analyzer, workers int) *Index {
 // per-document arrays (norms, scoring accumulators) remain sized to the
 // full corpus so global paper IDs index them directly.
 func BuildRangeWorkers(a *corpus.Analyzer, lo, hi int, workers int) *Index {
-	return buildPapers(a, sortedPapers(a.Corpus(), lo, hi), workers)
+	return BuildRangeWorkersBlock(a, lo, hi, workers, DefaultBlockSize)
+}
+
+// BuildRangeWorkersBlock is BuildRangeWorkers with an explicit block-max
+// block size; blockSize <= 0 disables block tables (see BuildWorkersBlock).
+func BuildRangeWorkersBlock(a *corpus.Analyzer, lo, hi, workers, blockSize int) *Index {
+	return buildPapers(a, sortedPapers(a.Corpus(), lo, hi), workers, blockSize)
 }
 
 // sortedPapers returns the corpus's papers with lo <= ID < hi in ascending
@@ -115,7 +159,7 @@ func sortedPapers(c *corpus.Corpus, lo, hi int) []*corpus.Paper {
 
 // buildPapers runs the sharded build pipeline over an explicit paper list
 // (ascending ID order).
-func buildPapers(a *corpus.Analyzer, papers []*corpus.Paper, workers int) *Index {
+func buildPapers(a *corpus.Analyzer, papers []*corpus.Paper, workers, blockSize int) *Index {
 	c := a.Corpus()
 	n := c.Len()
 	ix := &Index{
@@ -221,10 +265,63 @@ func buildPapers(a *corpus.Analyzer, papers []*corpus.Paper, workers int) *Index
 		}
 	})
 
+	// Pass 3b (sharded by term): block-max tables at the requested
+	// granularity. Like the global maxima, per-block maxima are pure
+	// comparisons over fixed block extents, so the tables are identical at
+	// any worker count.
+	if blockSize > 0 {
+		ix.blockSize = blockSize
+		ix.blockOffsets, ix.blockMaxWeight, ix.blockMaxRatio =
+			computeBlockTables(ix.offsets, ix.docs, ix.weights, ix.norms, blockSize, workers)
+	}
+
 	ix.accPool.New = func() any {
 		return &accum{val: make([]float64, n), seen: make([]bool, n)}
 	}
 	return ix
+}
+
+// computeBlockTables partitions every term's CSR posting run into blocks of
+// blockSize postings and returns the CSR-style block offsets (len terms+1)
+// plus each block's maximum posting weight and maximum weight/‖doc‖ ratio —
+// the same quantities as the global per-term maxima, restricted to one
+// block. Shared by the build pipeline, FromParts (recomputing tables for
+// pre-v5 states), and SliceRange (re-slicing tables for range engines).
+func computeBlockTables(offsets []int32, docs []corpus.PaperID, weights, norms []float64, blockSize, workers int) ([]int32, []float64, []float64) {
+	nTerms := len(offsets) - 1
+	bo := make([]int32, nTerms+1)
+	for t := 0; t < nTerms; t++ {
+		run := int(offsets[t+1] - offsets[t])
+		bo[t+1] = bo[t] + int32((run+blockSize-1)/blockSize)
+	}
+	bmw := make([]float64, bo[nTerms])
+	bmr := make([]float64, bo[nTerms])
+	par.ForShards(par.Shards(nTerms, workers), func(_ int, sh par.Shard) {
+		for t := sh.Lo; t < sh.Hi; t++ {
+			bi := int(bo[t])
+			hi := int(offsets[t+1])
+			for k := int(offsets[t]); k < hi; bi++ {
+				end := k + blockSize
+				if end > hi {
+					end = hi
+				}
+				var mw, mr float64
+				for ; k < end; k++ {
+					w := weights[k]
+					if w > mw {
+						mw = w
+					}
+					if dn := norms[docs[k]]; dn > 0 {
+						if r := w / dn; r > mr {
+							mr = r
+						}
+					}
+				}
+				bmw[bi], bmr[bi] = mw, mr
+			}
+		}
+	})
+	return bo, bmw, bmr
 }
 
 // postingsOf returns the CSR run of one interned term.
@@ -389,6 +486,49 @@ func (ix *Index) SearchVectorContext(ctx context.Context, qv vector.Sparse, opts
 	}
 	return hits, nil
 }
+
+// SearchVectorContextAppend is the allocation-free form of the bounded
+// search: the page SearchVectorContext would return for opts.Limit > 0 is
+// appended to dst (whose capacity is reused), so a caller that recycles its
+// result buffer runs the top-k hot path with zero steady-state heap
+// allocations — all evaluator scratch is pooled internally. Requires
+// opts.Limit > 0. On cancellation dst is returned unextended with ctx's
+// error.
+func (ix *Index) SearchVectorContextAppend(ctx context.Context, qv vector.Sparse, opts Options, dst []Hit) ([]Hit, error) {
+	if opts.Limit <= 0 {
+		return dst, errNeedLimit
+	}
+	return ix.searchTopKAppend(ctx, qv, opts, dst)
+}
+
+// TopKStats are the cumulative pruning counters of the top-k evaluator
+// since construction or the last ResetTopKStats, summed over all queries
+// (concurrent queries flush atomically once each).
+type TopKStats struct {
+	// Visited counts candidate documents fully evaluated: essential
+	// contributions gathered and the true-norm bound computed.
+	Visited uint64
+	// Skipped counts essential postings jumped over without evaluating
+	// their document — by a block-level range skip or a per-candidate
+	// block-bound rejection.
+	Skipped uint64
+}
+
+// TopKStats returns the evaluator's cumulative visited/skipped counters —
+// the observability hook behind the block-max pruning benchmarks.
+func (ix *Index) TopKStats() TopKStats {
+	return TopKStats{Visited: ix.statVisited.Load(), Skipped: ix.statSkipped.Load()}
+}
+
+// ResetTopKStats zeroes the evaluator's cumulative counters.
+func (ix *Index) ResetTopKStats() {
+	ix.statVisited.Store(0)
+	ix.statSkipped.Store(0)
+}
+
+// BlockSize returns the block-max granularity the index carries (postings
+// per block), or 0 when it was built without block tables.
+func (ix *Index) BlockSize() int { return ix.blockSize }
 
 // MatchScore returns the cosine text-matching score between a query and one
 // document — the Text_Matching_Score(p, q) term of the paper's relevancy

@@ -8,10 +8,11 @@ import (
 
 // Parts is the serializable flat form of an Index: the interned term
 // dictionary plus the CSR postings and the per-term MaxScore maxima. It is
-// what the v4 state format persists so that serving can skip corpus
+// what the v4/v5 state formats persist so that serving can skip corpus
 // re-analysis and index construction entirely — FromParts rebinds these
 // arrays (typically aliasing a memory-mapped file) to a live Index in
-// O(terms), never touching a posting.
+// O(terms), never touching a posting (except to recompute block-max tables
+// for pre-v5 parts that lack them).
 type Parts struct {
 	// Terms holds the indexed term strings in lexicographic order; term i
 	// has interned ID i, matching the Build ID assignment exactly.
@@ -26,6 +27,16 @@ type Parts struct {
 	// Per-term MaxScore bounds (see topk.go).
 	MaxWeight []float64
 	MaxRatio  []float64
+	// Block-max tables (see topk.go): term t's posting run is partitioned
+	// into blocks of BlockSize postings, its blocks occupying
+	// BlockMaxWeight[BlockOffsets[t]:BlockOffsets[t+1]] (and likewise
+	// BlockMaxRatio). Nil BlockOffsets means the tables are absent — parts
+	// from a pre-v5 state — and FromParts recomputes them at
+	// DefaultBlockSize so old states keep serving with full pruning power.
+	BlockSize      int
+	BlockOffsets   []int32
+	BlockMaxWeight []float64
+	BlockMaxRatio  []float64
 }
 
 // Parts exposes the index's flat arrays for serialization. All slices alias
@@ -37,13 +48,17 @@ func (ix *Index) Parts() *Parts {
 		terms[id] = term
 	}
 	return &Parts{
-		Terms:     terms,
-		Offsets:   ix.offsets,
-		Docs:      ix.docs,
-		Weights:   ix.weights,
-		Norms:     ix.norms,
-		MaxWeight: ix.maxWeight,
-		MaxRatio:  ix.maxRatio,
+		Terms:          terms,
+		Offsets:        ix.offsets,
+		Docs:           ix.docs,
+		Weights:        ix.weights,
+		Norms:          ix.norms,
+		MaxWeight:      ix.maxWeight,
+		MaxRatio:       ix.maxRatio,
+		BlockSize:      ix.blockSize,
+		BlockOffsets:   ix.blockOffsets,
+		BlockMaxWeight: ix.blockMaxWeight,
+		BlockMaxRatio:  ix.blockMaxRatio,
 	}
 }
 
@@ -95,11 +110,69 @@ func FromParts(a *corpus.Analyzer, p *Parts) (*Index, error) {
 		}
 		ix.termIDs[term] = int32(i)
 	}
+	if p.BlockOffsets == nil {
+		// Pre-v5 parts carry no block tables: recompute them so old states
+		// serve with full block-max pruning. This touches every posting —
+		// the one deliberate exception to the O(1) bind, paid once per
+		// open, and only for states whose pages first-touch CRC
+		// verification would fault in anyway.
+		bs := p.BlockSize
+		if bs <= 0 {
+			bs = DefaultBlockSize
+		}
+		ix.blockSize = bs
+		ix.blockOffsets, ix.blockMaxWeight, ix.blockMaxRatio =
+			computeBlockTables(p.Offsets, p.Docs, p.Weights, p.Norms, bs, 0)
+	} else {
+		// Persisted tables: validate shape in O(terms) and borrow the
+		// (typically mapped) arrays verbatim, like every other column.
+		if p.BlockSize <= 0 {
+			return nil, fmt.Errorf("index: block tables with non-positive block size %d", p.BlockSize)
+		}
+		if len(p.BlockOffsets) != nTerms+1 || p.BlockOffsets[0] != 0 {
+			return nil, fmt.Errorf("index: %d terms need %d block offsets starting at 0, have %d", nTerms, nTerms+1, len(p.BlockOffsets))
+		}
+		bs := int32(p.BlockSize)
+		for t := 0; t < nTerms; t++ {
+			run := p.Offsets[t+1] - p.Offsets[t]
+			want := (run + bs - 1) / bs
+			if p.BlockOffsets[t+1]-p.BlockOffsets[t] != want {
+				return nil, fmt.Errorf("index: term %d has %d postings, wants %d blocks of %d, has %d",
+					t, run, want, bs, p.BlockOffsets[t+1]-p.BlockOffsets[t])
+			}
+		}
+		nb := int(p.BlockOffsets[nTerms])
+		if len(p.BlockMaxWeight) != nb || len(p.BlockMaxRatio) != nb {
+			return nil, fmt.Errorf("index: %d blocks vs %d/%d block maxima", nb, len(p.BlockMaxWeight), len(p.BlockMaxRatio))
+		}
+		ix.blockSize = p.BlockSize
+		ix.blockOffsets = p.BlockOffsets
+		ix.blockMaxWeight = p.BlockMaxWeight
+		ix.blockMaxRatio = p.BlockMaxRatio
+	}
 	n := len(p.Norms)
 	ix.accPool.New = func() any {
 		return &accum{val: make([]float64, n), seen: make([]bool, n)}
 	}
 	return ix, nil
+}
+
+// EnsureBlockTables computes the block-max tables in place when the parts
+// carry none — the exact per-posting work FromParts performs on bind for a
+// pre-v5 state (FromParts itself never mutates caller parts; this method
+// exists so cold-start measurement tools can charge that work explicitly).
+// No-op when tables are already present. workers <= 0 selects GOMAXPROCS.
+func (p *Parts) EnsureBlockTables(workers int) {
+	if p.BlockOffsets != nil {
+		return
+	}
+	bs := p.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	p.BlockSize = bs
+	p.BlockOffsets, p.BlockMaxWeight, p.BlockMaxRatio =
+		computeBlockTables(p.Offsets, p.Docs, p.Weights, p.Norms, bs, workers)
 }
 
 // SliceRange restricts the parts to postings of documents with
@@ -110,9 +183,13 @@ func FromParts(a *corpus.Analyzer, p *Parts) (*Index, error) {
 // run, which the query path treats exactly like an unindexed term), so a
 // range engine's scores are bit-identical to the full build's for its own
 // documents. Per-term maxima are recomputed over the surviving postings,
-// matching BuildRangeWorkers' tighter in-range MaxScore bounds. The
-// returned parts own their postings (copied out of the mapped arrays);
-// Terms and Norms stay borrowed.
+// matching BuildRangeWorkers' tighter in-range MaxScore bounds; block-max
+// tables, when the source carries them, are likewise rebuilt at the same
+// block size over the re-sliced runs — each range block's maxima are
+// exactly the maxima of the postings it covers, never inherited from the
+// (differently partitioned) source blocks. The returned parts own their
+// postings (copied out of the mapped arrays); Terms and Norms stay
+// borrowed.
 func (p *Parts) SliceRange(lo, hi int) *Parts {
 	nTerms := len(p.Terms)
 	out := &Parts{
@@ -143,6 +220,11 @@ func (p *Parts) SliceRange(lo, hi int) *Parts {
 		}
 		out.Offsets[t+1] = int32(len(out.Docs))
 		out.MaxWeight[t], out.MaxRatio[t] = mw, mr
+	}
+	if p.BlockOffsets != nil && p.BlockSize > 0 {
+		out.BlockSize = p.BlockSize
+		out.BlockOffsets, out.BlockMaxWeight, out.BlockMaxRatio =
+			computeBlockTables(out.Offsets, out.Docs, out.Weights, p.Norms, p.BlockSize, 1)
 	}
 	return out
 }

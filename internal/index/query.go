@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"slices"
-	"sort"
 	"strings"
 
 	"ctxsearch/internal/corpus"
@@ -483,11 +482,21 @@ func (p *queryParser) parseAtom() (Query, error) {
 }
 
 // sortHits orders hits by descending score, ties by ascending doc.
+// slices.SortFunc rather than sort.Slice: the comparator is a plain
+// function, so the call stays allocation-free — the top-k hot path sorts
+// its final page through here and pins 0 allocs/op.
 func sortHits(hits []Hit) {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	slices.SortFunc(hits, func(a, b Hit) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Doc < b.Doc:
+			return -1
+		case a.Doc > b.Doc:
+			return 1
 		}
-		return hits[i].Doc < hits[j].Doc
+		return 0
 	})
 }

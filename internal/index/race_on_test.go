@@ -1,0 +1,5 @@
+//go:build race
+
+package index
+
+const raceEnabled = true

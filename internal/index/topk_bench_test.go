@@ -65,3 +65,63 @@ func benchmarkSearchVectorContextTopK(b *testing.B, limit int) {
 func BenchmarkSearchVectorContextTopKExhaustive(b *testing.B) { benchmarkSearchVectorContextTopK(b, 0) }
 func BenchmarkSearchVectorContextTopK10(b *testing.B)         { benchmarkSearchVectorContextTopK(b, 10) }
 func BenchmarkSearchVectorContextTopK100(b *testing.B)        { benchmarkSearchVectorContextTopK(b, 100) }
+
+// The block-size sweep behind BENCH_PR9.json: the same top-10 query over
+// the same 1000-doc context at several block-max granularities, sharing
+// the sweep corpus and rebuilding only the index per size. Block size 0
+// disables the block tables — the pure global-maxima MaxScore evaluator,
+// the PR 5 baseline — so the sweep isolates what block-level skipping
+// buys at identical results.
+var (
+	topkBlockMu  sync.Mutex
+	topkBlockIxs = map[int]*Index{}
+)
+
+func topkBenchBlockIndex(b *testing.B, blockSize int) *Index {
+	b.Helper()
+	topkBenchIndex(b) // build the shared corpus/analyzer
+	topkBlockMu.Lock()
+	defer topkBlockMu.Unlock()
+	ix := topkBlockIxs[blockSize]
+	if ix == nil {
+		bs := blockSize
+		if bs == 0 {
+			bs = -1 // 0 means "off" in the sweep; BuildWorkersBlock disables on <= 0
+		}
+		ix = BuildWorkersBlock(topkBenchIx.Analyzer(), 0, bs)
+		topkBlockIxs[blockSize] = ix
+	}
+	return ix
+}
+
+func benchmarkTopKBlock(b *testing.B, blockSize int) {
+	ix := topkBenchBlockIndex(b, blockSize)
+	_, set, qv := topkBenchIndex(b)
+	opts := Options{Limit: 10, WithinSet: set}
+	ctx := context.Background()
+	dst := make([]Hit, 0, opts.Limit)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = ix.SearchVectorContextAppend(ctx, qv, opts, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dst) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkSearchVectorContextTopKBlock0(b *testing.B)   { benchmarkTopKBlock(b, 0) }
+func BenchmarkSearchVectorContextTopKBlock64(b *testing.B)  { benchmarkTopKBlock(b, 64) }
+func BenchmarkSearchVectorContextTopKBlock128(b *testing.B) { benchmarkTopKBlock(b, 128) }
+func BenchmarkSearchVectorContextTopKBlock256(b *testing.B) { benchmarkTopKBlock(b, 256) }
+
+// BenchmarkSearchVectorContextTopKAppend10 is the zero-allocation
+// steady-state number: the block-max top-10 query through the append API
+// with a reused destination page (B/op and allocs/op must read 0).
+func BenchmarkSearchVectorContextTopKAppend10(b *testing.B) {
+	benchmarkTopKBlock(b, DefaultBlockSize)
+}

@@ -64,7 +64,7 @@ type Mapped struct {
 	st       *State
 }
 
-// Open opens a state file for serving. A v4 file is memory-mapped
+// Open opens a state file for serving. A flat (v4/v5) file is memory-mapped
 // (syscall.Mmap on unix; a byte-copy read everywhere else or under
 // CTXSEARCH_NO_MMAP=1) and its sections are reinterpreted zero-copy on
 // demand; a v1–v3 gob file is decoded through Load. The ontology must be
@@ -115,7 +115,7 @@ func Open(path string, onto *ontology.Ontology) (*Mapped, error) {
 	return m, nil
 }
 
-// openBytes parses a v4 image over data (mapped or heap). Only the
+// openBytes parses a flat (v4/v5) image over data (mapped or heap). Only the
 // header, section table, and matrix directory are touched; everything
 // else waits for its first consumer.
 func openBytes(data []byte, mapped bool, onto *ontology.Ontology) (*Mapped, error) {
@@ -126,11 +126,11 @@ func openBytes(data []byte, mapped bool, onto *ontology.Ontology) (*Mapped, erro
 		return nil, fmt.Errorf("bad v4 magic %q", data[:8])
 	}
 	ver := int(binary.LittleEndian.Uint32(data[8:]))
-	if ver > versionV4 {
+	if ver > versionV5 {
 		return nil, tooNewError(ver)
 	}
-	if ver != versionV4 {
-		return nil, fmt.Errorf("flat state version %d is not supported (want %d)", ver, versionV4)
+	if ver != versionV4 && ver != versionV5 {
+		return nil, fmt.Errorf("flat state version %d is not supported (want %d or %d)", ver, versionV4, versionV5)
 	}
 	count := binary.LittleEndian.Uint32(data[12:])
 	if count > maxSections {
@@ -185,11 +185,11 @@ func openBytes(data []byte, mapped bool, onto *ontology.Ontology) (*Mapped, erro
 	return m, nil
 }
 
-// tooNewError is the shared too-new-version diagnostic of the gob and v4
+// tooNewError is the shared too-new-version diagnostic of the gob and flat
 // readers: it names the file's version and points at the fix, so serve
 // startup prints something actionable instead of a bare decode error.
 func tooNewError(ver int) error {
-	return fmt.Errorf("store: state file version %d is newer than this binary supports (≤ %d) — the file was built by a newer ctxsearch; upgrade this binary, or rebuild the state with this one", ver, versionV4)
+	return fmt.Errorf("store: state file version %d is newer than this binary supports (≤ %d) — the file was built by a newer ctxsearch; upgrade this binary, or rebuild the state with this one", ver, versionV5)
 }
 
 // sectionLocked returns a section's data, verifying its CRC on first
@@ -449,7 +449,7 @@ func (m *Mapped) indexPartsLocked() (*index.Parts, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.parts = &index.Parts{
+	parts := &index.Parts{
 		Terms:     terms,
 		Offsets:   asI32s(offs),
 		Docs:      asPaperIDs(docs),
@@ -458,6 +458,40 @@ func (m *Mapped) indexPartsLocked() (*index.Parts, error) {
 		MaxWeight: asF64s(maxW),
 		MaxRatio:  asF64s(maxR),
 	}
+	// Block-max sections (v5; optional). A state without them — any v4
+	// file, or a v5 file whose index carried no tables — leaves
+	// BlockOffsets nil and index.FromParts recomputes the tables on bind.
+	bmeta, ok, err := m.sectionLocked(secIdxBlockMeta)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		bc := &cursor{b: bmeta}
+		bs := int(bc.u32())
+		if err := bc.done(); err != nil {
+			return nil, fmt.Errorf("store: index block meta: %w", err)
+		}
+		if bs <= 0 {
+			return nil, fmt.Errorf("store: index block size %d is not positive", bs)
+		}
+		boffs, err := m.needLocked(secIdxBlockOffsets)
+		if err != nil {
+			return nil, err
+		}
+		bmw, err := m.needLocked(secIdxBlockMaxW)
+		if err != nil {
+			return nil, err
+		}
+		bmr, err := m.needLocked(secIdxBlockMaxR)
+		if err != nil {
+			return nil, err
+		}
+		parts.BlockSize = bs
+		parts.BlockOffsets = asI32s(boffs)
+		parts.BlockMaxWeight = asF64s(bmw)
+		parts.BlockMaxRatio = asF64s(bmr)
+	}
+	m.parts = parts
 	m.hasParts = true
 	return m.parts, nil
 }

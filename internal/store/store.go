@@ -27,11 +27,12 @@ import (
 // matrices (flat arrays — smaller on disk and far cheaper to decode); v3
 // keeps the v2 payload shape but the matrices additionally carry their
 // per-context row maxima (the top-k pruning bounds), so a cold start
-// serves pruned queries without a recomputation pass. v4 is not gob at
-// all: a flat sectioned binary built for memory-mapped zero-copy opens
-// (see format.go), written by SaveV4 and opened by Open. Save always
-// writes v3 gob; Load accepts v1–v4, freezing v1 maps and recomputing v2
-// row maxima on the way in.
+// serves pruned queries without a recomputation pass. v4 and v5 are not
+// gob at all: flat sectioned binaries built for memory-mapped zero-copy
+// opens (see format.go; v5 adds the index's block-max sections), written
+// by SaveV4/SaveV5 and opened by Open. Save always writes v3 gob; Load
+// accepts v1–v5, freezing v1 maps and recomputing v2 row maxima on the
+// way in.
 const (
 	version   = 3
 	versionV2 = 2
@@ -161,10 +162,11 @@ func corruptionHint(err error) string {
 	return "corrupt gob stream"
 }
 
-// Load reads a state previously written by Save or SaveV4, rebinding the
-// context set to the given ontology (which must be the one the state was
-// built from). All versions v1–v4 are accepted; a v4 stream is read
-// whole and decoded through the same section machinery as Open (byte-copy
+// Load reads a state previously written by Save, SaveV4, or SaveV5,
+// rebinding the context set to the given ontology (which must be the one
+// the state was built from). All versions v1–v5 are accepted; a flat
+// stream is read whole and decoded through the same section machinery as
+// Open (byte-copy
 // semantics — use Open for the zero-copy mapped path). Decode failures
 // are wrapped with what was found — the magic and version when the header
 // survived, or a truncation/corruption classification — so a corrupted
@@ -224,10 +226,10 @@ func Load(r io.Reader, onto *ontology.Ontology) (*State, error) {
 		}
 		snap = p.Snapshot
 		st.Matrices = p.Matrices
-	case versionV4:
-		// Real v4 files are flat binary (caught by the magic peek above),
+	case versionV4, versionV5:
+		// Real v4/v5 files are flat binary (caught by the magic peek above),
 		// never gob-framed.
-		return nil, fmt.Errorf("store: gob stream claims version %d, but v4 states are flat binary — corrupt file?", h.Version)
+		return nil, fmt.Errorf("store: gob stream claims version %d, but v%d states are flat binary — corrupt file?", h.Version, h.Version)
 	default:
 		return nil, tooNewError(h.Version)
 	}
@@ -250,6 +252,11 @@ func SaveFile(path string, st *State) error {
 // SaveFileV4 is SaveFile in the flat v4 format (same crash-safe install).
 func SaveFileV4(path string, st *State) error {
 	return saveFileWith(path, func(w io.Writer) error { return SaveV4(w, st) })
+}
+
+// SaveFileV5 is SaveFile in the flat v5 format (same crash-safe install).
+func SaveFileV5(path string, st *State) error {
+	return saveFileWith(path, func(w io.Writer) error { return SaveV5(w, st) })
 }
 
 func saveFileWith(path string, save func(io.Writer) error) (err error) {

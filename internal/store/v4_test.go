@@ -109,6 +109,7 @@ func TestCrossVersionRoundTrip(t *testing.T) {
 		"v2": func(b *bytes.Buffer) error { return saveV2(b, st) },
 		"v3": func(b *bytes.Buffer) error { return Save(b, st) },
 		"v4": func(b *bytes.Buffer) error { return SaveV4(b, st) },
+		"v5": func(b *bytes.Buffer) error { return SaveV5(b, st) },
 	}
 	for name, write := range writers {
 		t.Run(name, func(t *testing.T) {

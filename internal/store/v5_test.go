@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"ctxsearch/internal/index"
+)
+
+// v5Bytes renders the fixture state as a v5 image.
+func v5Bytes(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveV5(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sectionIDs lists the section table's IDs in file order.
+func sectionIDs(img []byte) []uint32 {
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	ids := make([]uint32, count)
+	for i := 0; i < count; i++ {
+		ids[i] = binary.LittleEndian.Uint32(img[headerSize+i*secHdrSize:])
+	}
+	return ids
+}
+
+// TestV5Deterministic: two v5 saves of the same state are byte-identical.
+func TestV5Deterministic(t *testing.T) {
+	_, _, _, st := fixtureWithIndex(t)
+	if !bytes.Equal(v5Bytes(t, st), v5Bytes(t, st)) {
+		t.Fatal("v5 encoding is not deterministic")
+	}
+}
+
+// TestV5BlockSections pins the format split: a v5 image of a block-built
+// index carries the four block sections and stamps version 5; the v4 image
+// of the same state omits them and stamps version 4 — the v4 writer's
+// output must not change just because the in-memory index now carries
+// block tables.
+func TestV5BlockSections(t *testing.T) {
+	_, _, _, st := fixtureWithIndex(t)
+	if st.Index.BlockOffsets == nil {
+		t.Fatal("fixture index carries no block tables")
+	}
+	img5, img4 := v5Bytes(t, st), v4Bytes(t, st)
+	if v := binary.LittleEndian.Uint32(img5[8:]); v != versionV5 {
+		t.Fatalf("v5 image stamps version %d", v)
+	}
+	if v := binary.LittleEndian.Uint32(img4[8:]); v != versionV4 {
+		t.Fatalf("v4 image stamps version %d", v)
+	}
+	ids5, ids4 := sectionIDs(img5), sectionIDs(img4)
+	for _, id := range []uint32{secIdxBlockMeta, secIdxBlockOffsets, secIdxBlockMaxW, secIdxBlockMaxR} {
+		if !slices.Contains(ids5, id) {
+			t.Fatalf("v5 image lacks block section %d", id)
+		}
+		if slices.Contains(ids4, id) {
+			t.Fatalf("v4 image contains block section %d", id)
+		}
+	}
+
+	// A v5 save of parts without tables simply omits the sections (and
+	// still opens — the reader recomputes on bind).
+	stripped := *st
+	idx := *st.Index
+	idx.BlockSize, idx.BlockOffsets, idx.BlockMaxWeight, idx.BlockMaxRatio = 0, nil, nil, nil
+	stripped.Index = &idx
+	if ids := sectionIDs(v5Bytes(t, &stripped)); slices.Contains(ids, secIdxBlockMeta) {
+		t.Fatal("v5 image of blockless parts contains block sections")
+	}
+}
+
+// TestOpenV5 exercises the v5 mmap path: the bound parts carry the block
+// tables zero-copy (identical to the saved ones), and they bind to a live
+// index without the recompute pass.
+func TestOpenV5(t *testing.T) {
+	o, _, a, st := fixtureWithIndex(t)
+	path := filepath.Join(t.TempDir(), "state.v5")
+	if err := SaveFileV5(path, st); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	parts, err := m.IndexParts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts == nil || parts.BlockOffsets == nil {
+		t.Fatal("v5 open returned parts without block tables")
+	}
+	if parts.BlockSize != st.Index.BlockSize {
+		t.Fatalf("block size %d, want %d", parts.BlockSize, st.Index.BlockSize)
+	}
+	if !slices.Equal(parts.BlockOffsets, st.Index.BlockOffsets) ||
+		!slices.Equal(parts.BlockMaxWeight, st.Index.BlockMaxWeight) ||
+		!slices.Equal(parts.BlockMaxRatio, st.Index.BlockMaxRatio) {
+		t.Fatal("mapped block tables differ from the saved ones")
+	}
+	ix, err := index.FromParts(a, parts)
+	if err != nil {
+		t.Fatalf("mapped v5 parts do not bind: %v", err)
+	}
+	if ix.BlockSize() != st.Index.BlockSize {
+		t.Fatalf("bound index block size %d, want %d", ix.BlockSize(), st.Index.BlockSize)
+	}
+}
+
+// TestLoadV5 covers the byte-copy read path (Load on a v5 stream) and the
+// gob-framed-v5 corruption diagnostic.
+func TestLoadV5(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	got, err := Load(bytes.NewReader(v5Bytes(t, st)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContextSet(t, st.ContextSet, got.ContextSet)
+	assertSameMatrices(t, st, got.Matrices)
+	if got.Index == nil || !slices.Equal(got.Index.BlockOffsets, st.Index.BlockOffsets) {
+		t.Fatal("Load dropped the v5 block tables")
+	}
+
+	var buf bytes.Buffer
+	if err := saveWithVersion(&buf, st, versionV5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, o); err == nil || !strings.Contains(err.Error(), "flat binary") {
+		t.Fatalf("gob-framed v5 not diagnosed as corruption: %v", err)
+	}
+}
+
+// TestOpenV5BadBlockMeta: a block-size of zero in the meta section is
+// rejected rather than tripping a divide-by-zero downstream.
+func TestOpenV5BadBlockMeta(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v5Bytes(t, st)
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	for i := 0; i < count; i++ {
+		e := img[headerSize+i*secHdrSize:]
+		if binary.LittleEndian.Uint32(e[0:]) == secIdxBlockMeta {
+			off := binary.LittleEndian.Uint64(e[8:])
+			binary.LittleEndian.PutUint32(img[off:], 0)
+			// Re-seal the payload so the size check, not the CRC, trips.
+			length := binary.LittleEndian.Uint64(e[16:])
+			binary.LittleEndian.PutUint32(e[24:], crc32.Checksum(img[off:off+length], castagnoli))
+			break
+		}
+	}
+	patchTableCRC(img)
+	data := alignedBytes(len(img))
+	copy(data, img)
+	m, err := openBytes(data, false, o)
+	if err != nil {
+		t.Fatalf("open reads no payload, must succeed: %v", err)
+	}
+	if _, err := m.IndexParts(); err == nil || !strings.Contains(err.Error(), "block size") {
+		t.Fatalf("zero block size not rejected: %v", err)
+	}
+}
+
+// TestV5BitFlips corrupts single bytes across the v5 image's meaningful
+// regions — the header, every section-table entry, and the first, middle
+// and last byte of every payload — and checks each flip is either rejected
+// at open or caught when the state materializes. Bytes the reader never
+// dereferences are deliberately excluded: inter-section padding and the
+// reserved fields of the header and table entries, which no CRC covers.
+func TestV5BitFlips(t *testing.T) {
+	o, _, _, st := fixtureWithIndex(t)
+	img := v5Bytes(t, st)
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	var targets []int
+	for off := 0; off < headerSize-4; off++ { // header minus its reserved tail
+		targets = append(targets, off)
+	}
+	for i := 0; i < count; i++ {
+		base := headerSize + i*secHdrSize
+		for off := base; off < base+secHdrSize-4; off++ { // entry minus reserved
+			targets = append(targets, off)
+		}
+	}
+	for i := 0; i < count; i++ {
+		e := img[headerSize+i*secHdrSize:]
+		off := int(binary.LittleEndian.Uint64(e[8:]))
+		length := int(binary.LittleEndian.Uint64(e[16:]))
+		if length == 0 {
+			continue
+		}
+		targets = append(targets, off, off+length/2, off+length-1)
+	}
+	for _, off := range targets {
+		data := alignedBytes(len(img))
+		copy(data, img)
+		data[off] ^= 0xFF
+		m, err := openBytes(data, false, o)
+		if err != nil {
+			continue // rejected at open: fine
+		}
+		if _, err := m.State(); err == nil {
+			t.Fatalf("offset %d: corrupted v5 image materialized without error", off)
+		}
+	}
+}

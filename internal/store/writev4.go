@@ -25,7 +25,18 @@ type sectionData struct {
 // table go along, so an open skips corpus re-analysis entirely. The
 // layout is deterministic: sections in fixed ID order, dictionaries and
 // directories sorted.
-func SaveV4(w io.Writer, st *State) error {
+func SaveV4(w io.Writer, st *State) error { return saveFlat(w, st, versionV4) }
+
+// SaveV5 writes the flat v5 format: v4 plus the index's block-max tables
+// as their own sections, so an open binds the tables zero-copy instead of
+// recomputing them over every posting. States whose index carries no block
+// tables (or no index at all) produce a v5 file without the block
+// sections — readers recompute on bind, exactly as for a v4 file.
+func SaveV5(w io.Writer, st *State) error { return saveFlat(w, st, versionV5) }
+
+// saveFlat is the shared flat-format writer; ver selects which optional
+// sections are emitted and the header's version stamp.
+func saveFlat(w io.Writer, st *State, ver int) error {
 	if st == nil || st.ContextSet == nil {
 		return fmt.Errorf("store: nil state or context set")
 	}
@@ -169,6 +180,14 @@ func SaveV4(w io.Writer, st *State) error {
 		add(secIdxNorms, kindF64, encodeF64s(p.Norms))
 		add(secIdxMaxWeight, kindF64, encodeF64s(p.MaxWeight))
 		add(secIdxMaxRatio, kindF64, encodeF64s(p.MaxRatio))
+		if ver >= versionV5 && p.BlockOffsets != nil && p.BlockSize > 0 {
+			var bm builder
+			bm.u32(uint32(p.BlockSize))
+			add(secIdxBlockMeta, kindBytes, bm.b)
+			add(secIdxBlockOffsets, kindI32, encodeI32s(p.BlockOffsets))
+			add(secIdxBlockMaxW, kindF64, encodeF64s(p.BlockMaxWeight))
+			add(secIdxBlockMaxR, kindF64, encodeF64s(p.BlockMaxRatio))
+		}
 
 		docs, counts := st.DF.Counts()
 		dfTerms := make([]string, 0, len(counts))
@@ -186,7 +205,7 @@ func SaveV4(w io.Writer, st *State) error {
 		add(secDF, kindBytes, db.b)
 	}
 
-	return writeSections(w, secs)
+	return writeSections(w, secs, ver)
 }
 
 // sortedTermKeys collects term IDs from an iterator and returns them
@@ -201,9 +220,9 @@ func sortedTermKeys(n int, iter func(yield func(ontology.TermID))) []ontology.Te
 // alignUp rounds n up to the next multiple of align (a power of two).
 func alignUp(n, align uint64) uint64 { return (n + align - 1) &^ (align - 1) }
 
-// writeSections lays out the header, section table, and aligned data and
-// streams them to w.
-func writeSections(w io.Writer, secs []sectionData) error {
+// writeSections lays out the header (stamped with ver), section table, and
+// aligned data and streams them to w.
+func writeSections(w io.Writer, secs []sectionData, ver int) error {
 	if len(secs) > maxSections {
 		return fmt.Errorf("store: %d sections exceeds the format limit %d", len(secs), maxSections)
 	}
@@ -223,7 +242,7 @@ func writeSections(w io.Writer, secs []sectionData) error {
 
 	var hdr [headerSize]byte
 	copy(hdr[:8], magicV4)
-	binary.LittleEndian.PutUint32(hdr[8:], versionV4)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(ver))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(secs)))
 	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(table, castagnoli))
 	binary.LittleEndian.PutUint32(hdr[20:], 0)

@@ -69,6 +69,22 @@ func (h *Heap[T]) Offer(x T) bool {
 // aliases the heap's storage; callers typically sort it once at the end.
 func (h *Heap[T]) Items() []T { return h.items }
 
+// Reset empties the heap and sets a new retention capacity, reusing the
+// backing storage when it is large enough. It lets pooled query scratch
+// (the index's top-k evaluator) recycle one heap across queries with
+// differing page sizes without reallocating. k must be positive.
+func (h *Heap[T]) Reset(k int) {
+	if k <= 0 {
+		panic("topk: non-positive capacity")
+	}
+	if cap(h.items) < k {
+		h.items = make([]T, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
+	h.k = k
+}
+
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -73,11 +73,32 @@ func (v Sparse) Dot(u Sparse) float64 {
 
 // Norm returns the Euclidean norm of v, deterministically (see Dot).
 func (v Sparse) Norm() float64 {
-	prods := make([]float64, 0, len(v))
-	for _, x := range v {
-		prods = append(prods, x*x)
+	norm, _ := v.NormWith(nil)
+	return norm
+}
+
+// NormWith is Norm computing into caller-provided scratch (grown as
+// needed and returned for reuse) — the allocation-free form for pooled
+// query paths. The squares are summed in exactly Norm's order, so the
+// result is bit-for-bit identical.
+func (v Sparse) NormWith(buf []float64) (float64, []float64) {
+	if cap(buf) < len(v) {
+		buf = make([]float64, 0, len(v))
+	} else {
+		buf = buf[:0]
 	}
-	return math.Sqrt(sumSorted(prods))
+	for _, x := range v {
+		buf = append(buf, x*x)
+	}
+	return math.Sqrt(sumSorted(buf)), buf
+}
+
+// NormOfSquares returns √(Σ sq) with the summands sorted ascending first —
+// the exact accumulation Norm uses — for callers that collected the squared
+// weights themselves while making another pass over the vector. Sorts sq in
+// place.
+func NormOfSquares(sq []float64) float64 {
+	return math.Sqrt(sumSorted(sq))
 }
 
 // sumSorted sums values in ascending order — a deterministic and
