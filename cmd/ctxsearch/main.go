@@ -46,6 +46,10 @@
 //	-build-workers N  offline-build parallelism: analysis, index and
 //	                  position-index construction, context-set assembly
 //	                  (default 0 = GOMAXPROCS; output identical at any N)
+//	-topk-workers N   intra-query parallelism budget for bounded top-k
+//	                  queries: each large query may fan out over up to N
+//	                  range workers, small ones stay serial (default 1;
+//	                  result pages byte-identical at any N)
 //	-v            verbose: print the build timing summary after the
 //	              offline build finishes
 //
@@ -184,6 +188,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	stateFormat := fs.String("state-format", "v3", "state file format when saving: v3 (gob) | v4 (flat binary, mmap-ready; also persists the text index + DF table so serve skips corpus analysis) | v5 (v4 plus the index's block-max tables, skipping their recompute on open)")
 	blockSize := fs.Int("block-size", 0, "inverted-index block-max granularity in postings per block (0 = default 128, negative = disable block tables; results identical at any setting)")
 	buildWorkers := fs.Int("build-workers", 0, "offline-build parallelism (0 = GOMAXPROCS; output identical at any setting)")
+	topkWorkers := fs.Int("topk-workers", 1, "intra-query parallelism budget for bounded top-k queries (1 = serial; large queries fan out over up to N range workers, results identical at any setting)")
 	verbose := fs.Bool("v", false, "print the offline-build timing summary")
 	addr := fs.String("addr", ":8080", "listen address for serve")
 	queryTimeout := fs.Duration("query-timeout", server.DefaultQueryTimeout, "serve: per-request search deadline, expiry returns 503 (<=0 disables)")
@@ -227,6 +232,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	cfg.OntologyTerms = *terms
 	cfg.BuildWorkers = *buildWorkers
 	cfg.IndexBlockSize = *blockSize
+	cfg.TopKWorkers = *topkWorkers
 
 	if cmd == "serve" || cmd == "shard" {
 		o := serveOpts{
@@ -581,12 +587,15 @@ func install(out io.Writer, srv *server.Server, o serveOpts, sys *ctxsearch.Syst
 		if err != nil {
 			return err
 		}
+		// The range engine builds its own index, which does not inherit the
+		// system config's worker budget.
+		eng.SetTopKWorkers(o.cfg.TopKWorkers)
 		srv.SetReadyMapped(sys, cs, matrix, eng, ref)
 		fmt.Fprintf(out, "shard %d/%d ready (papers %d-%d)\n", o.shardIndex, o.shardCount, r.Lo, r.Hi-1)
 	case o.shards > 1:
 		var g *shard.Group
 		var err error
-		sopts := shard.Options{BuildWorkers: o.cfg.BuildWorkers, FanOut: o.fanout}
+		sopts := shard.Options{BuildWorkers: o.cfg.BuildWorkers, FanOut: o.fanout, TopKWorkers: o.cfg.TopKWorkers}
 		if parts != nil {
 			g, err = shard.NewGroupParts(sys.Analyzer(), parts, cs, matrix, sys.Config().Relevancy, o.shards, sopts)
 			if err != nil {

@@ -183,7 +183,12 @@ type report struct {
 	Corpus   map[string]int         `json:"corpus"`
 	FileSize map[string]int64       `json:"state_file_bytes"`
 	Runs     map[string][]formatRun `json:"runs"`
-	Note     string                 `json:"note"`
+	// Errors records formats that failed to save, open or measure. A
+	// failing format is reported here and skipped; the other formats'
+	// numbers still land in Runs, so one broken decoder (or a corrupt
+	// file) never voids the whole comparison.
+	Errors map[string]string `json:"errors,omitempty"`
+	Note   string            `json:"note"`
 }
 
 func runParent(papers, terms int, procsSpec, formatsSpec, out string) error {
@@ -238,12 +243,22 @@ func runParent(papers, terms int, procsSpec, formatsSpec, out string) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
+	// Per-format faults — a save, stat or child failure — mark the format
+	// failed and drop it from the sweep; the remaining formats still
+	// report. failed formats land in the report's errors section.
+	failed := map[string]string{}
+	fail := func(format string, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v (skipping format)\n", format, err)
+		failed[format] = err.Error()
+	}
 	paths := make(map[string]string, len(formats))
 	for _, f := range formats {
-		paths[f] = filepath.Join(dir, "state."+f)
-		if err := savers[f](paths[f], st); err != nil {
-			return err
+		p := filepath.Join(dir, "state."+f)
+		if err := savers[f](p, st); err != nil {
+			fail(f, fmt.Errorf("save: %w", err))
+			continue
 		}
+		paths[f] = p
 	}
 
 	self, err := os.Executable()
@@ -263,21 +278,36 @@ func runParent(papers, terms int, procsSpec, formatsSpec, out string) error {
 	for f, p := range paths {
 		fi, err := os.Stat(p)
 		if err != nil {
-			return err
+			fail(f, fmt.Errorf("stat: %w", err))
+			delete(paths, f)
+			continue
 		}
 		rep.FileSize[f] = fi.Size()
 	}
 
 	for _, format := range formats {
+		if _, ok := paths[format]; !ok {
+			continue
+		}
 		for _, n := range counts {
 			run, err := spawn(self, format, paths[format], terms, n)
 			if err != nil {
-				return fmt.Errorf("%s x%d: %w", format, n, err)
+				// Every child of this format opens the same file the same
+				// way; further process counts would fail identically.
+				fail(format, fmt.Errorf("x%d: %w", n, err))
+				delete(rep.Runs, format)
+				break
 			}
 			rep.Runs[format] = append(rep.Runs[format], run)
 			fmt.Fprintf(os.Stderr, "%s x%d: mean open %.2fms, max %.2fms, total pss delta %d KB\n",
 				format, n, run.MeanOpenMS, run.MaxOpenMS, run.TotalPSSKB)
 		}
+	}
+	if len(failed) > 0 {
+		rep.Errors = failed
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("every state format failed: %v", failed)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -120,6 +120,13 @@ type Config struct {
 	// Search results are bit-identical at every setting; only pruning
 	// power, and with it query latency, changes.
 	IndexBlockSize int
+	// TopKWorkers sets the inverted index's default intra-query
+	// parallelism for bounded top-k queries (see
+	// index.Options.TopKWorkers): 0 or 1 keeps the evaluator serial, n > 1
+	// budgets up to n range workers per query, admitted adaptively by
+	// posting mass and GOMAXPROCS. Result pages are byte-identical at
+	// every setting.
+	TopKWorkers int
 }
 
 // DefaultConfig returns the experiments' configuration at a laptop-friendly
@@ -216,6 +223,7 @@ func NewSystem(o *Ontology, c *Corpus, cfg Config) (*System, error) {
 	})
 	st.Time("index", c.Len(), "papers", func() {
 		s.index = index.BuildWorkersBlock(s.analyzer, workers, cfg.indexBlockSize())
+		s.index.SetDefaultTopKWorkers(cfg.TopKWorkers)
 	})
 	st.Time("posindex", c.Len(), "papers", func() {
 		s.posIndex = pattern.NewPosIndexWorkers(s.analyzer, workers)
@@ -251,6 +259,7 @@ func NewFrozenSystem(o *Ontology, c *Corpus, parts *index.Parts, df *vector.DF, 
 	if err != nil {
 		return nil, fmt.Errorf("ctxsearch: binding index: %w", err)
 	}
+	s.index.SetDefaultTopKWorkers(cfg.TopKWorkers)
 	return s, nil
 }
 

@@ -102,6 +102,11 @@ type termCursor struct {
 	docs []corpus.PaperID
 	ws   []float64
 	pos  int
+	// lim bounds the walk to docs[:lim]: the whole run for a serial query,
+	// the run prefix inside the worker's document range for a parallel one
+	// (see topk_parallel.go). Positions stay run-absolute either way, so
+	// the block arithmetic below is oblivious to the range.
+	lim int
 	// qi is the term's position in the term-ID-sorted query (the exact
 	// re-summation order); qw its query weight.
 	qi int
@@ -135,7 +140,7 @@ func (c *termCursor) syncBlock() {
 	if c.pos < c.blkEnd {
 		return
 	}
-	n := len(c.docs)
+	n := c.lim
 	if c.bsize <= 0 {
 		c.blkEnd = n
 		c.blkLast = c.docs[n-1]
@@ -159,7 +164,7 @@ func (c *termCursor) syncBlock() {
 // target is present.
 func (c *termCursor) seek(target corpus.PaperID) (float64, bool) {
 	lo := c.pos
-	n := len(c.docs)
+	n := c.lim
 	if lo >= n {
 		return 0, false
 	}
@@ -205,7 +210,7 @@ func (c *termCursor) seek(target corpus.PaperID) (float64, bool) {
 func (c *termCursor) advanceFiltered(opts *Options, restricted bool) corpus.PaperID {
 	for {
 		c.pos++
-		if c.pos >= len(c.docs) {
+		if c.pos >= c.lim {
 			return docSentinel
 		}
 		d := c.docs[c.pos]
@@ -224,7 +229,7 @@ func (c *termCursor) advanceFiltered(opts *Options, restricted bool) corpus.Pape
 // targets arrive in ascending order: every skipped posting precedes a
 // fence below the target.
 func (c *termCursor) blockProbe(target corpus.PaperID) (float64, bool) {
-	n := len(c.docs)
+	n := c.lim
 	if c.pos >= n {
 		return 0, false
 	}
@@ -355,8 +360,15 @@ func (ix *Index) resolveQueryNormInto(qv vector.Sparse, qts []queryTerm, sq []fl
 // prunes strictly below (equality is kept); a full heap prunes at b ≤ θ
 // because any later candidate tying the heap minimum has a larger doc ID
 // and loses the tiebreak.
-func cannotQualify(b, threshold float64, heap *hitHeap) bool {
-	if !(b > 0) || b < threshold {
+//
+// w is the cross-range watermark (0 — a no-op, since qualifying scores are
+// positive — for serial queries): the k-th best score observed anywhere in
+// a parallel query. It prunes strictly below only: b < w proves k documents
+// score strictly above the candidate, putting it outside the global page
+// regardless of tiebreaks, while b == w must survive because a remote
+// equal-score document could still lose the ascending-doc tiebreak.
+func cannotQualify(b, threshold, w float64, heap *hitHeap) bool {
+	if !(b > 0) || b < threshold || b < w {
 		return true
 	}
 	return heap.Full() && b <= heap.Min().Score
@@ -364,12 +376,12 @@ func cannotQualify(b, threshold float64, heap *hitHeap) bool {
 
 // cannotQualifyScaled is cannotQualify with both sides multiplied by the
 // candidate's positive norm product qn·dn: xb is the slack-inflated
-// dot-space bound (score bound × qn·dn) and tScaled the threshold on the
-// same scale. Multiplying both sides of each comparison by the same
-// positive factor preserves it up to 1 ULP of rounding — absorbed by
-// boundSlack — and saves the division per candidate.
-func cannotQualifyScaled(xb, tScaled, scale float64, heap *hitHeap) bool {
-	if !(xb > 0) || xb < tScaled {
+// dot-space bound (score bound × qn·dn), tScaled the threshold and wScaled
+// the watermark on the same scale. Multiplying both sides of each
+// comparison by the same positive factor preserves it up to 1 ULP of
+// rounding — absorbed by boundSlack — and saves the division per candidate.
+func cannotQualifyScaled(xb, tScaled, wScaled, scale float64, heap *hitHeap) bool {
+	if !(xb > 0) || xb < tScaled || xb < wScaled {
 		return true
 	}
 	return heap.Full() && xb <= heap.Min().Score*scale
@@ -386,9 +398,12 @@ func (ix *Index) searchTopK(ctx context.Context, qv vector.Sparse, opts Options)
 	return hits, nil
 }
 
-// searchTopKAppend runs the block-max evaluation appending the result page
-// to dst. All evaluator state lives in pooled scratch, so with a reused
-// dst the call performs zero steady-state heap allocations.
+// searchTopKAppend resolves the query, then runs the block-max evaluation
+// appending the result page to dst. All evaluator state lives in pooled
+// scratch, so with a reused dst the serial path performs zero steady-state
+// heap allocations. Queries admitted by the Options.TopKWorkers cost model
+// are range-partitioned across workers instead (see topk_parallel.go) with
+// a byte-identical result page.
 func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Options, dst []Hit) ([]Hit, error) {
 	sc := ix.getTopkScratch()
 	defer ix.topkPool.Put(sc)
@@ -425,6 +440,34 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 		}
 		return int(a.qi) - int(b.qi)
 	})
+	if workers := ix.topkWorkerPlan(&opts, qts); workers > 1 {
+		return ix.searchTopKParallel(ctx, sc, qn, opts, workers, dst)
+	}
+	visited, skipped, err := ix.evalRange(ctx, sc, qts, keys, qn, &opts, 0, docSentinel, nil)
+	ix.statVisited.Add(visited)
+	if skipped != 0 {
+		ix.statSkipped.Add(skipped)
+	}
+	if err != nil {
+		return dst, err
+	}
+	start := len(dst)
+	dst = append(dst, sc.heap.Items()...)
+	sortTopKPage(dst[start:])
+	return dst, ctx.Err()
+}
+
+// evalRange runs the block-max MaxScore walk over the candidate documents
+// in [lo, hi) — hi == docSentinel meaning the whole corpus without paying
+// the range binary searches — leaving the range's qualifying page in
+// sc.heap. qts and keys are the resolved query and its descending-bound
+// cursor order; they are owned by the caller and read-only here, so
+// concurrent range workers share one copy. wm, when non-nil, is the
+// parallel query's shared watermark (see topk_parallel.go): the walk
+// prunes against the last value it observed and publishes its own
+// full-heap minimum into it. The pruning counters are returned rather than
+// flushed so a parallel query still flushes its totals once.
+func (ix *Index) evalRange(ctx context.Context, sc *topkScratch, qts []queryTerm, keys []cursorKey, qn float64, opts *Options, lo, hi corpus.PaperID, wm *scoreWatermark) (visited, skipped uint64, err error) {
 	cur := growCursors(sc.cur, len(qts))
 	sc.cur = cur
 	for j, k := range keys {
@@ -435,12 +478,25 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 			ubCos:    k.ubCos,
 			ubDot:    qt.w * ix.maxWeight[qt.id],
 			cosScale: qt.w / qn,
+			pos:      -1,
+			lim:      len(docs),
 		}
 		if ix.blockOffsets != nil {
 			blo, bhi := ix.blockOffsets[qt.id], ix.blockOffsets[qt.id+1]
 			c.bmw = ix.blockMaxWeight[blo:bhi]
 			c.bmr = ix.blockMaxRatio[blo:bhi]
 			c.bsize = ix.blockSize
+		}
+		// Cut the run to the document range: pos rests just before the
+		// first posting ≥ lo, lim at the first posting ≥ hi. Positions stay
+		// run-absolute, so block indices (pos/bsize) are unaffected; a
+		// partial edge block keeps its full-block maxima, which remain
+		// conservative bounds over the sub-block.
+		if lo > 0 {
+			c.pos = searchPaperID(docs, lo) - 1
+		}
+		if hi != docSentinel {
+			c.lim = searchPaperID(docs, hi)
 		}
 		cur[j] = c
 	}
@@ -454,9 +510,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 	curDoc := growDocs(sc.curDoc, len(cur))
 	sc.curDoc = curDoc
 	for i := range cur {
-		c := &cur[i]
-		c.pos = -1
-		curDoc[i] = c.advanceFiltered(&opts, restricted)
+		curDoc[i] = cur[i].advanceFiltered(opts, restricted)
 	}
 	// tailCos[i] / tailDot[i] bound the total contribution of the term
 	// suffix cur[i:] in cosine / dot space.
@@ -471,11 +525,17 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 
 	heap := &sc.heap
 	heap.Reset(opts.Limit)
+	// wmCos caches the shared watermark in cosine-score space. 0 is the
+	// neutral value — qualifying scores are strictly positive, so every
+	// `bound < wmCos` watermark comparison is a no-op until a real value
+	// arrives, and the serial path (wm == nil) never pays more than the
+	// dead compare.
+	wmCos := 0.0
 	// nEss delimits the essential prefix: the suffix cur[nEss:] is
 	// non-essential once its cumulative bound cannot qualify. Re-checked
-	// whenever the heap threshold rises.
+	// whenever the heap threshold or the watermark rises.
 	nEss := len(cur)
-	for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack, opts.Threshold, heap) {
+	for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack, opts.Threshold, wmCos, heap) {
 		nEss--
 	}
 
@@ -490,7 +550,6 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 	present = present[:len(qts)]
 	sc.present = present
 	np := 0
-	var visited, skipped uint64
 	steps := 0
 	// fence is the nearest essential block boundary: the minimum, over the
 	// live essential cursors, of the last document in the cursor's current
@@ -506,13 +565,25 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 	fence := corpus.PaperID(-1)
 	for nEss > 0 {
 		if steps&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				ix.statVisited.Add(visited)
-				ix.statSkipped.Add(skipped)
-				return dst, err
+			if cerr := ctx.Err(); cerr != nil {
+				return visited, skipped, cerr
 			}
 		}
 		steps++
+		if wm != nil {
+			if w := wm.load(); w > wmCos {
+				// A remote range raised the global k-th best score: adopt it
+				// and re-derive the essential prefix under the tighter
+				// threshold.
+				wmCos = w
+				for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack, opts.Threshold, wmCos, heap) {
+					nEss--
+				}
+				if nEss == 0 {
+					break
+				}
+			}
+		}
 		// Next candidate: the minimum document under the essential cursors.
 		minDoc := docSentinel
 		for i := 0; i < nEss; i++ {
@@ -547,7 +618,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 				if fence < 0 {
 					break // every essential cursor exhausted
 				}
-				if !cannotQualify((rangeCos+tailCos[nEss])*boundSlack, opts.Threshold, heap) {
+				if !cannotQualify((rangeCos+tailCos[nEss])*boundSlack, opts.Threshold, wmCos, heap) {
 					break // this block range may hold a qualifying doc
 				}
 				for i := 0; i < nEss; i++ {
@@ -564,7 +635,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 					// least one and stepping back before the filtered
 					// advance is safe.
 					c.pos--
-					curDoc[i] = c.advanceFiltered(&opts, restricted)
+					curDoc[i] = c.advanceFiltered(opts, restricted)
 				}
 			}
 			if fence < 0 {
@@ -585,7 +656,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 			// it without gathering contributions.
 			for i := 0; i < nEss; i++ {
 				if curDoc[i] == minDoc {
-					curDoc[i] = cur[i].advanceFiltered(&opts, restricted)
+					curDoc[i] = cur[i].advanceFiltered(opts, restricted)
 				}
 			}
 			continue
@@ -604,7 +675,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 			present[np] = c.qi
 			np++
 			essDot += v
-			curDoc[i] = c.advanceFiltered(&opts, restricted)
+			curDoc[i] = c.advanceFiltered(opts, restricted)
 		}
 		{
 			// All per-candidate bounds compare in scaled (dot × slack)
@@ -612,10 +683,11 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 			// happens once, for survivors only.
 			scale := qn * dn
 			tScaled := opts.Threshold * scale
+			wScaled := wmCos * scale
 			// Candidate bound with its true norm: essential contributions
 			// plus the non-essential dot-space tail.
 			xb := (essDot + tailDot[nEss]) * boundSlack
-			if !cannotQualifyScaled(xb, tScaled, scale, heap) {
+			if !cannotQualifyScaled(xb, tScaled, wScaled, scale, heap) {
 				// Probe non-essential terms, highest bound first, dropping
 				// each term's bound from the residual as it resolves. A
 				// block probe first tightens the term's bound to its local
@@ -643,7 +715,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 					}
 					if maybe {
 						xb = (essDot + remaining + bd) * boundSlack
-						if cannotQualifyScaled(xb, tScaled, scale, heap) {
+						if cannotQualifyScaled(xb, tScaled, wScaled, scale, heap) {
 							survived = false
 							break
 						}
@@ -656,7 +728,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 						}
 					}
 					xb = (essDot + remaining) * boundSlack
-					if cannotQualifyScaled(xb, tScaled, scale, heap) {
+					if cannotQualifyScaled(xb, tScaled, wScaled, scale, heap) {
 						survived = false
 						break
 					}
@@ -685,7 +757,13 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 					score := dot / (qn * dn)
 					if score >= opts.Threshold && score > 0 {
 						if heap.Offer(Hit{minDoc, score}) {
-							for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack, opts.Threshold, heap) {
+							if wm != nil && heap.Full() {
+								// Publish the local k-th best: k genuine
+								// qualifying hits score at least this, so
+								// remote ranges may prune strictly below it.
+								wm.raise(heap.Min().Score)
+							}
+							for nEss > 0 && cannotQualify(tailCos[nEss-1]*boundSlack, opts.Threshold, wmCos, heap) {
 								nEss--
 							}
 						}
@@ -695,14 +773,7 @@ func (ix *Index) searchTopKAppend(ctx context.Context, qv vector.Sparse, opts Op
 		}
 		np = 0
 	}
-	ix.statVisited.Add(visited)
-	if skipped != 0 {
-		ix.statSkipped.Add(skipped)
-	}
-	start := len(dst)
-	dst = append(dst, heap.Items()...)
-	sortTopKPage(dst[start:])
-	return dst, ctx.Err()
+	return visited, skipped, nil
 }
 
 // sortTopKPage sorts a result page in the returned (score desc, doc asc)

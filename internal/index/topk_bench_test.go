@@ -22,7 +22,7 @@ var (
 	topkBenchQV   vector.Sparse
 )
 
-func topkBenchIndex(b *testing.B) (*Index, bitset.Set, vector.Sparse) {
+func topkBenchIndex(b testing.TB) (*Index, bitset.Set, vector.Sparse) {
 	b.Helper()
 	topkBenchOnce.Do(func() {
 		o, err := ontology.Generate(ontology.GenConfig{Seed: 7, NumTerms: 120, MaxDepth: 7})

@@ -1,0 +1,220 @@
+package index
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ctxsearch/internal/corpus"
+)
+
+// This file adds the intra-query parallel mode of the block-max top-k
+// evaluator: the candidate document space is partitioned into R contiguous
+// ranges of near-equal posting mass, each range runs the ordinary
+// evalRange walk on its own goroutine with its own pooled scratch, and the
+// partial pages merge through the same bounded heap the walk itself uses.
+// Because document ranges are disjoint and each range's page is exact for
+// the range, the merged page is byte-identical to the serial evaluator's
+// at every R — the same argument that makes scatter-gather over shards
+// exact (see shard.MergePages), executed inside one index.
+//
+// The ranges cooperate through a shared watermark: whenever a worker's
+// heap fills, it publishes its k-th best score, and every range prunes
+// candidates whose score bound falls strictly below the highest published
+// value. The watermark only tightens pruning — it never decides the page.
+// See cannotQualify for the strictness argument and DESIGN.md
+// ("Intra-query parallel top-k") for the full exactness proof.
+
+// topkMassPerWorker is the cost model's admission unit: a parallel query
+// gets at most one range worker per this many postings of resolved query
+// mass, so small queries — which finish in microseconds — never pay
+// goroutine and merge overhead. A variable, not a constant, so tests can
+// force the parallel path on tiny fixtures.
+var topkMassPerWorker = 4096
+
+// maxTopKWorkers caps the range count against absurd requests; far above
+// any plausible core count served by one process.
+const maxTopKWorkers = 64
+
+// SetDefaultTopKWorkers sets the worker budget used by bounded queries
+// whose Options.TopKWorkers is zero. Call it before serving queries (it is
+// a plain write, not synchronized against in-flight searches). Zero or one
+// keeps the evaluator serial.
+func (ix *Index) SetDefaultTopKWorkers(n int) { ix.defaultTopKWorkers = n }
+
+// DefaultTopKWorkers returns the index-wide worker budget.
+func (ix *Index) DefaultTopKWorkers() int { return ix.defaultTopKWorkers }
+
+// topkWorkerPlan decides how many range workers a query runs. A request of
+// n > 1 is a budget, clamped by the cost model (one worker per
+// topkMassPerWorker postings of resolved query mass) and by GOMAXPROCS —
+// on a single-core host extra goroutines only add scheduling overhead. A
+// negative request forces exactly -n ranges with no clamping, which the
+// equality batteries and benchmarks use to exercise every split shape
+// regardless of host. Cost-model and GOMAXPROCS denials of a parallel
+// request are counted as serial fallbacks.
+func (ix *Index) topkWorkerPlan(opts *Options, qts []queryTerm) int {
+	req := opts.TopKWorkers
+	if req == 0 {
+		req = ix.defaultTopKWorkers
+	}
+	if req < 0 {
+		if w := -req; w > 1 {
+			return min(w, maxTopKWorkers)
+		}
+		return 1
+	}
+	if req <= 1 {
+		return 1
+	}
+	mass := 0
+	for _, qt := range qts {
+		mass += int(ix.offsets[qt.id+1] - ix.offsets[qt.id])
+	}
+	w := min(req, maxTopKWorkers, runtime.GOMAXPROCS(0), mass/topkMassPerWorker)
+	if w < 2 {
+		ix.statSerialFallback.Add(1)
+		return 1
+	}
+	return w
+}
+
+// scoreWatermark is the shared adaptive threshold of a parallel query: the
+// highest k-th-best cosine score any range worker has published, stored as
+// float64 bits in one atomic word. Scores are non-negative, so raise's
+// monotonic CAS loop needs no ABA care, and readers pay a single relaxed
+// load per candidate.
+type scoreWatermark struct {
+	bits atomic.Uint64
+}
+
+func (w *scoreWatermark) load() float64 {
+	return math.Float64frombits(w.bits.Load())
+}
+
+// raise lifts the watermark to s if s is higher; concurrent raises settle
+// on the maximum.
+func (w *scoreWatermark) raise(s float64) {
+	nb := math.Float64bits(s)
+	for {
+		ob := w.bits.Load()
+		if math.Float64frombits(ob) >= s {
+			return
+		}
+		if w.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
+
+// topkSplit picks workers+1 ascending cut points over the document ID
+// space so consecutive ranges hold near-equal resolved posting mass — the
+// walk's work unit — rather than near-equal document counts, which skewed
+// postings would unbalance. The cumulative mass below a document,
+// f(d) = Σ_t |{postings of t with doc < d}|, is nondecreasing in d, so
+// each interior cut binary-searches f for its quantile; each f evaluation
+// is one lower-bound probe per term. The final cut is docSentinel so the
+// last range skips its lim binary search in evalRange.
+func (ix *Index) topkSplit(qts []queryTerm, workers int) []corpus.PaperID {
+	n := len(ix.norms)
+	cuts := make([]corpus.PaperID, workers+1)
+	cuts[workers] = docSentinel
+	total := 0
+	for _, qt := range qts {
+		total += int(ix.offsets[qt.id+1] - ix.offsets[qt.id])
+	}
+	for r := 1; r < workers; r++ {
+		target := total * r / workers
+		cuts[r] = corpus.PaperID(sort.Search(n, func(d int) bool {
+			mass := 0
+			for _, qt := range qts {
+				docs := ix.docs[ix.offsets[qt.id]:ix.offsets[qt.id+1]]
+				mass += searchPaperID(docs, corpus.PaperID(d))
+			}
+			return mass >= target
+		}))
+	}
+	return cuts
+}
+
+// searchTopKParallel evaluates an already-resolved query (sc.qts/sc.keys
+// filled, terms sorted) over `workers` disjoint document ranges and merges
+// the partial pages into dst. Range 0 runs on the calling goroutine with
+// the caller's scratch; the rest lease scratch from the index pool. The
+// merged page is byte-identical to the serial evaluator's: each range's
+// heap holds at least every global-page document of its range (watermark
+// pruning only drops documents provably outside the global page), ranges
+// are disjoint, and the bounded merge heap selects the k best of the union
+// under the same (score desc, doc asc) total order the walk uses — the
+// outcome is order-insensitive, so watermark timing cannot perturb it.
+func (ix *Index) searchTopKParallel(ctx context.Context, sc *topkScratch, qn float64, opts Options, workers int, dst []Hit) ([]Hit, error) {
+	qts, keys := sc.qts, sc.keys
+	cuts := ix.topkSplit(qts, workers)
+	var wm scoreWatermark
+	type rangeResult struct {
+		visited, skipped uint64
+		err              error
+	}
+	scs := make([]*topkScratch, workers)
+	res := make([]rangeResult, workers)
+	scs[0] = sc
+	for r := 1; r < workers; r++ {
+		scs[r] = ix.getTopkScratch()
+	}
+	var wg sync.WaitGroup
+	for r := 1; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v, s, err := ix.evalRange(ctx, scs[r], qts, keys, qn, &opts, cuts[r], cuts[r+1], &wm)
+			res[r] = rangeResult{v, s, err}
+		}(r)
+	}
+	v0, s0, err0 := ix.evalRange(ctx, sc, qts, keys, qn, &opts, cuts[0], cuts[1], &wm)
+	res[0] = rangeResult{v0, s0, err0}
+	wg.Wait()
+
+	var visited, skipped uint64
+	var err error
+	for r := range res {
+		visited += res[r].visited
+		skipped += res[r].skipped
+		if err == nil && res[r].err != nil {
+			err = res[r].err
+		}
+	}
+	ix.statVisited.Add(visited)
+	if skipped != 0 {
+		ix.statSkipped.Add(skipped)
+	}
+	ix.statParallel.Add(1)
+	ix.statParallelWorkers.Add(uint64(workers))
+	if err != nil {
+		for r := 1; r < workers; r++ {
+			ix.topkPool.Put(scs[r])
+		}
+		return dst, err
+	}
+	// Merge under the engine's total order with the walk's own bounded
+	// heap, borrowed from a pool scratch so the parallel path reuses the
+	// same warmed storage.
+	msc := ix.getTopkScratch()
+	mh := &msc.heap
+	mh.Reset(opts.Limit)
+	for r := range scs {
+		for _, h := range scs[r].heap.Items() {
+			mh.Offer(h)
+		}
+	}
+	start := len(dst)
+	dst = append(dst, mh.Items()...)
+	sortTopKPage(dst[start:])
+	ix.topkPool.Put(msc)
+	for r := 1; r < workers; r++ {
+		ix.topkPool.Put(scs[r])
+	}
+	return dst, ctx.Err()
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ctxsearch/internal/bitset"
+	"ctxsearch/internal/corpus"
+	"ctxsearch/internal/ontology"
+	"ctxsearch/internal/vector"
+)
+
+// The intra-query parallelism sweep behind BENCH_PR10.json: the same
+// bounded query at worker counts 1, 2, 4 and 8 × page sizes 10 and 100 ×
+// a small and a large context. Worker counts are forced (negative
+// TopKWorkers) so the sweep measures the range-partitioned machinery
+// itself on any host — the adaptive arm measures what production configs
+// pay when the cost model routes a query.
+var (
+	topkParBenchOnce sync.Once
+	topkParBenchIx   *Index
+	topkParBenchSet  bitset.Set
+	topkParBenchQV   vector.Sparse
+)
+
+// topkParBenchIndex builds the large-context fixture: an 8000-paper corpus
+// (4× the PR 5/PR 9 bench corpus) restricted to a 4000-doc context bitset,
+// approaching the per-query work that context-sensitive rankers over wide
+// citation neighborhoods generate.
+func topkParBenchIndex(b testing.TB) (*Index, bitset.Set, vector.Sparse) {
+	b.Helper()
+	topkParBenchOnce.Do(func() {
+		o, err := ontology.Generate(ontology.GenConfig{Seed: 7, NumTerms: 120, MaxDepth: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := corpus.Generate(o, corpus.DefaultGenConfig(8000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		topkParBenchIx = Build(corpus.NewAnalyzer(c))
+		for d := 0; d < c.Len(); d += 2 {
+			topkParBenchSet.Add(d)
+		}
+		topkParBenchQV = topkParBenchIx.Analyzer().QueryVector(
+			"regulation of rna transcription factor binding activity")
+	})
+	return topkParBenchIx, topkParBenchSet, topkParBenchQV
+}
+
+func benchmarkTopKParallel(b *testing.B, ix *Index, set bitset.Set, qv vector.Sparse, limit, workers int) {
+	opts := Options{Limit: limit, WithinSet: set, TopKWorkers: workers}
+	ctx := context.Background()
+	dst := make([]Hit, 0, limit)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = ix.SearchVectorContextAppend(ctx, qv, opts, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dst) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkTopKParallel(b *testing.B) {
+	type fixture struct {
+		name string
+		get  func(testing.TB) (*Index, bitset.Set, vector.Sparse)
+	}
+	fixtures := []fixture{
+		{"small", topkBenchIndex},    // 2000 papers, 1000-doc context
+		{"large", topkParBenchIndex}, // 8000 papers, 4000-doc context
+	}
+	for _, f := range fixtures {
+		for _, limit := range []int{10, 100} {
+			for _, w := range []int{1, 2, 4, 8} {
+				ix, set, qv := f.get(b)
+				b.Run(fmt.Sprintf("%s/top%d/w%d", f.name, limit, w), func(b *testing.B) {
+					benchmarkTopKParallel(b, ix, set, qv, limit, -w)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTopKParallelAdaptive measures the production knob: a worker
+// budget of 4 routed through the cost model, which admits the query only
+// when posting mass and GOMAXPROCS warrant — on a single-core host or a
+// cheap query this is the price of asking (one mass sum, then the
+// unchanged serial path).
+func BenchmarkTopKParallelAdaptive(b *testing.B) {
+	for _, f := range []struct {
+		name string
+		get  func(testing.TB) (*Index, bitset.Set, vector.Sparse)
+	}{
+		{"small", topkBenchIndex},
+		{"large", topkParBenchIndex},
+	} {
+		ix, set, qv := f.get(b)
+		b.Run(f.name+"/top10/budget4", func(b *testing.B) {
+			benchmarkTopKParallel(b, ix, set, qv, 10, 4)
+		})
+	}
+}

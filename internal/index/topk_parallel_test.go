@@ -1,0 +1,379 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ctxsearch/internal/bitset"
+	"ctxsearch/internal/corpus"
+)
+
+// withGOMAXPROCS runs fn under the given GOMAXPROCS, restoring the old
+// value. Tests in a package run sequentially, so the process-wide knob is
+// safe to swing here.
+func withGOMAXPROCS(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestSearchTopKParallelGoldenEquality is the parallel evaluator's golden
+// battery: at GOMAXPROCS 1, 2 and 8 and forced worker counts 1, 2, 3, 5
+// and 8, randomized (limit, offset, threshold, restriction) combinations
+// must return pages byte-identical to both the serial evaluator and the
+// exhaustive reference. Forced counts (negative TopKWorkers) bypass the
+// cost model and the GOMAXPROCS clamp so every split shape is exercised on
+// any host, including R far above the core count.
+func TestSearchTopKParallelGoldenEquality(t *testing.T) {
+	a, c := buildBlockFixture(t)
+	queries := []string{
+		"regulation of rna synthesis",
+		"protein binding transport",
+		"activity complex formation regulation binding transport rna protein",
+		"synthesis",
+	}
+	for _, bs := range []int{-1, 128} {
+		ix := BuildWorkersBlock(a, 0, bs)
+		for _, gmp := range []int{1, 2, 8} {
+			withGOMAXPROCS(gmp, func() {
+				for _, workers := range []int{1, 2, 3, 5, 8} {
+					rng := rand.New(rand.NewSource(int64(17*gmp + workers)))
+					for qi, q := range queries {
+						qv := a.QueryVector(q)
+						for trial := 0; trial < 10; trial++ {
+							offset := rng.Intn(5)
+							opts := Options{Limit: offset + 1 + rng.Intn(20)}
+							switch rng.Intn(3) {
+							case 1:
+								opts.Threshold = rng.Float64() * 0.4
+							case 2:
+								var set bitset.Set
+								for d := 0; d < c.Len(); d++ {
+									if rng.Intn(2) == 0 {
+										set.Add(d)
+									}
+								}
+								opts.WithinSet = set
+								opts.Threshold = rng.Float64() * 0.2
+							}
+							label := fmt.Sprintf("block %d gmp %d workers %d query %d %q trial %d opts %+v",
+								bs, gmp, workers, qi, q, trial, opts)
+							serial := opts
+							serial.TopKWorkers = 1
+							want, err := ix.SearchVectorContext(context.Background(), qv, serial)
+							if err != nil {
+								t.Fatalf("%s: serial: %v", label, err)
+							}
+							par := opts
+							par.TopKWorkers = -workers
+							got, err := ix.SearchVectorContext(context.Background(), qv, par)
+							if err != nil {
+								t.Fatalf("%s: parallel: %v", label, err)
+							}
+							diffHits(t, label, got, want)
+							diffHits(t, label+" (vs exhaustive)", got, exhaustiveTopK(t, ix, qv, opts))
+							// A paginating caller slices the page at its
+							// offset; equal full pages must stay equal
+							// suffix-for-suffix.
+							if offset < len(got) {
+								diffHits(t, label+" (offset slice)", got[offset:], want[offset:])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSearchTopKParallelAdaptive covers the cost model: a positive
+// TopKWorkers budget goes parallel only when the query's posting mass and
+// GOMAXPROCS allow, is byte-identical either way, and the admission
+// decisions surface in TopKStats.
+func TestSearchTopKParallelAdaptive(t *testing.T) {
+	ix, _ := buildTopKFixture(t)
+	a := ix.Analyzer()
+	qv := a.QueryVector("activity complex formation regulation binding transport rna protein")
+	want, err := ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := topkMassPerWorker
+	defer func() { topkMassPerWorker = old }()
+
+	withGOMAXPROCS(2, func() {
+		// Tiny admission unit: the budget should be granted.
+		topkMassPerWorker = 1
+		ix.ResetTopKStats()
+		got, err := ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10, TopKWorkers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHits(t, "adaptive parallel", got, want)
+		st := ix.TopKStats()
+		if st.Parallel != 1 {
+			t.Fatalf("Parallel = %d after admitted query, want 1", st.Parallel)
+		}
+		if st.ParallelWorkers != 2 {
+			t.Fatalf("ParallelWorkers = %d under GOMAXPROCS=2, want 2", st.ParallelWorkers)
+		}
+		if st.SerialFallback != 0 {
+			t.Fatalf("SerialFallback = %d after admitted query, want 0", st.SerialFallback)
+		}
+
+		// Admission unit above the whole corpus mass: serial fallback.
+		topkMassPerWorker = 1 << 30
+		ix.ResetTopKStats()
+		got, err = ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10, TopKWorkers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHits(t, "adaptive fallback", got, want)
+		st = ix.TopKStats()
+		if st.Parallel != 0 || st.SerialFallback != 1 {
+			t.Fatalf("stats = %+v after denied query, want SerialFallback=1", st)
+		}
+	})
+
+	// On one core a parallel budget is always denied, whatever the mass.
+	withGOMAXPROCS(1, func() {
+		topkMassPerWorker = 1
+		ix.ResetTopKStats()
+		got, err := ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10, TopKWorkers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHits(t, "single-core fallback", got, want)
+		if st := ix.TopKStats(); st.Parallel != 0 || st.SerialFallback != 1 {
+			t.Fatalf("stats = %+v under GOMAXPROCS=1, want SerialFallback=1", st)
+		}
+	})
+}
+
+// TestSearchTopKParallelDefaultWorkers covers the index-wide budget:
+// Options.TopKWorkers == 0 defers to SetDefaultTopKWorkers, an explicit 1
+// overrides it back to serial.
+func TestSearchTopKParallelDefaultWorkers(t *testing.T) {
+	ix, _ := buildTopKFixture(t)
+	a := ix.Analyzer()
+	qv := a.QueryVector("protein binding transport")
+	want, err := ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := topkMassPerWorker
+	defer func() { topkMassPerWorker = old }()
+	topkMassPerWorker = 1
+	ix.SetDefaultTopKWorkers(4)
+	defer ix.SetDefaultTopKWorkers(0)
+	if got := ix.DefaultTopKWorkers(); got != 4 {
+		t.Fatalf("DefaultTopKWorkers() = %d, want 4", got)
+	}
+
+	withGOMAXPROCS(4, func() {
+		ix.ResetTopKStats()
+		got, err := ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHits(t, "default budget", got, want)
+		if st := ix.TopKStats(); st.Parallel != 1 {
+			t.Fatalf("Parallel = %d with index default 4, want 1", st.Parallel)
+		}
+
+		ix.ResetTopKStats()
+		got, err = ix.SearchVectorContext(context.Background(), qv, Options{Limit: 10, TopKWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffHits(t, "explicit serial override", got, want)
+		if st := ix.TopKStats(); st.Parallel != 0 || st.SerialFallback != 0 {
+			t.Fatalf("stats = %+v with explicit TopKWorkers=1, want all zero", st)
+		}
+	})
+}
+
+// TestSearchTopKParallelConcurrentQueries hammers the shared-watermark
+// path from many goroutines at once — concurrent parallel queries against
+// one index, each fanning out range workers that share a watermark and the
+// scratch pool. Run under -race this is the data-race proof for the
+// watermark and the pooled scratch handoff; the page comparison proves
+// watermark timing never leaks into results.
+func TestSearchTopKParallelConcurrentQueries(t *testing.T) {
+	a, c := buildBlockFixture(t)
+	ix := BuildWorkersBlock(a, 0, 128)
+	queries := []string{
+		"regulation of rna synthesis",
+		"protein binding transport",
+		"activity complex formation regulation binding transport rna protein",
+	}
+	var set bitset.Set
+	for d := 0; d < c.Len(); d += 2 {
+		set.Add(d)
+	}
+	shapes := make([]Options, 0, len(queries)*2)
+	want := make([][]Hit, 0, len(queries)*2)
+	for _, q := range queries {
+		for _, opts := range []Options{
+			{Limit: 10},
+			{Limit: 25, Threshold: 0.05, WithinSet: set},
+		} {
+			ref, err := ix.SearchVectorContext(context.Background(), a.QueryVector(q), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shapes = append(shapes, opts)
+			want = append(want, ref)
+		}
+	}
+	withGOMAXPROCS(8, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for round := 0; round < 20; round++ {
+					i := (g + round) % len(shapes)
+					opts := shapes[i]
+					opts.TopKWorkers = -(2 + (g+round)%3)
+					got, err := ix.SearchVectorContext(context.Background(), a.QueryVector(queries[i/2]), opts)
+					if err != nil {
+						t.Errorf("goroutine %d round %d: %v", g, round, err)
+						return
+					}
+					diffHitsErr(t, fmt.Sprintf("goroutine %d round %d shape %d", g, round, i), got, want[i])
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// diffHitsErr is diffHits for concurrent tests: t.Errorf instead of the
+// Fatalf that must not be called off the test goroutine.
+func diffHitsErr(t *testing.T, label string, got, want []Hit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: got %d hits, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: hit %d differs\ngot:  %+v\nwant: %+v", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// TestSearchTopKParallelCancellation: a cancelled context surfaces from
+// every range worker and returns the page buffer unextended.
+func TestSearchTopKParallelCancellation(t *testing.T) {
+	ix, _ := buildTopKFixture(t)
+	a := ix.Analyzer()
+	qv := a.QueryVector("activity complex formation regulation binding transport rna protein")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst := make([]Hit, 0, 8)
+	got, err := ix.SearchVectorContextAppend(ctx, qv, Options{Limit: 10, TopKWorkers: -4}, dst)
+	if err == nil {
+		t.Fatal("cancelled parallel query returned nil error")
+	}
+	if len(got) != 0 {
+		t.Fatalf("cancelled parallel query extended dst by %d hits", len(got))
+	}
+}
+
+// TestScoreWatermark checks the atomic maximum: concurrent raises settle
+// on the highest value and raise never lowers it.
+func TestScoreWatermark(t *testing.T) {
+	var wm scoreWatermark
+	if got := wm.load(); got != 0 {
+		t.Fatalf("zero watermark loads %v, want 0", got)
+	}
+	wm.raise(0.5)
+	wm.raise(0.25)
+	if got := wm.load(); got != 0.5 {
+		t.Fatalf("watermark = %v after raise(0.5), raise(0.25); want 0.5", got)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				wm.raise(float64(g*1000+i) / 10000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := wm.load(); got != 0.8 {
+		t.Fatalf("watermark = %v after concurrent raises, want 0.8", got)
+	}
+}
+
+// TestTopKParallelWatermarkWorkBound pins the shared watermark's reason to
+// exist: without cross-range threshold sharing, R independent ranges each
+// pay a full heap-fill before pruning engages, multiplying visited
+// candidates by ~R on selective queries. With sharing, total visited work
+// must stay within a small factor of serial — the property that turns
+// range partitioning into wall-clock speedup (each worker's critical path
+// is ~1/R of near-serial work). Measured on the 2000-paper bench corpus
+// where pruning has real room to act.
+func TestTopKParallelWatermarkWorkBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale corpus")
+	}
+	ix, set, qv := topkBenchIndex(t)
+	visited := func(workers int) uint64 {
+		t.Helper()
+		ix.ResetTopKStats()
+		_, err := ix.SearchVectorContext(context.Background(),
+			qv, Options{Limit: 10, WithinSet: set, TopKWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix.TopKStats().Visited
+	}
+	serial := visited(1)
+	if serial == 0 {
+		t.Fatal("serial query visited nothing")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par := visited(-workers)
+		t.Logf("visited: serial %d, %d ranges %d (%.2fx)", serial, workers, par, float64(par)/float64(serial))
+		if par > 3*serial {
+			t.Fatalf("%d ranges visited %d candidates, serial %d: watermark sharing is not bounding duplicated heap-fill work", workers, par, serial)
+		}
+	}
+}
+
+// TestTopKSplitCoversCorpus checks the mass-balanced splitter's invariants:
+// ascending cuts that tile [0, n) exactly, for assorted worker counts.
+func TestTopKSplitCoversCorpus(t *testing.T) {
+	ix, c := buildTopKFixture(t)
+	a := ix.Analyzer()
+	qv := a.QueryVector("activity complex formation regulation binding transport rna protein")
+	sc := ix.getTopkScratch()
+	defer ix.topkPool.Put(sc)
+	qts, _ := ix.resolveQueryNormInto(qv, sc.qts[:0], sc.norm[:0])
+	for _, workers := range []int{2, 3, 5, 8} {
+		cuts := ix.topkSplit(qts, workers)
+		if len(cuts) != workers+1 {
+			t.Fatalf("workers %d: %d cuts", workers, len(cuts))
+		}
+		if cuts[0] != 0 || cuts[workers] != docSentinel {
+			t.Fatalf("workers %d: cuts do not tile the corpus: %v", workers, cuts)
+		}
+		for r := 1; r < workers; r++ {
+			if cuts[r] < cuts[r-1] || cuts[r] > corpus.PaperID(c.Len()) {
+				t.Fatalf("workers %d: cut %d out of order: %v", workers, r, cuts)
+			}
+		}
+	}
+}

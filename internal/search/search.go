@@ -188,6 +188,19 @@ func NewEngineFrozen(ix *index.Index, cs *contextset.ContextSet, matrix *prestig
 	return e
 }
 
+// SetTopKWorkers sets the underlying index's default intra-query
+// parallelism for bounded top-k queries (see index.Options.TopKWorkers).
+// Call before serving queries.
+func (e *Engine) SetTopKWorkers(n int) { e.ix.SetDefaultTopKWorkers(n) }
+
+// TopKStats exposes the index's top-k evaluator counters — the server
+// surfaces them per generation under /stats.
+func (e *Engine) TopKStats() index.TopKStats { return e.ix.TopKStats() }
+
+// ResetTopKStats zeroes the evaluator counters; the server calls it when a
+// generation is installed so /stats reads per-generation.
+func (e *Engine) ResetTopKStats() { e.ix.ResetTopKStats() }
+
 // ContextScore is a candidate context for a query.
 type ContextScore struct {
 	Context ontology.TermID

@@ -275,6 +275,14 @@ func (s *Server) SetReadySharded(sys *ctxsearch.System, cs *ctxsearch.ContextSet
 // backend's mapping is closed after the swap — its pages stay valid until
 // the last in-flight request that retained them releases, then unmap.
 func (s *Server) SetReadyMapped(sys *ctxsearch.System, cs *ctxsearch.ContextSet, m *ctxsearch.Matrix, searcher Searcher, ref StateRef) {
+	// /stats reports top-k evaluator counters per generation, not per
+	// process: zero them as the generation is installed. (Engines are not
+	// shared across generations — a rebuild or remap constructs new ones —
+	// so in-flight queries of the old generation never pollute the new
+	// counters.)
+	if ts, ok := searcher.(interface{ ResetTopKStats() }); ok {
+		ts.ResetTopKStats()
+	}
 	old := s.backend.Swap(&backend{
 		sys:      sys,
 		cs:       cs,
@@ -761,6 +769,10 @@ type StatsResponse struct {
 	// Sharding holds scatter-gather counters when the installed searcher is
 	// a shard group (or this server is a coordinator); absent otherwise.
 	Sharding *shard.Snapshot `json:"sharding,omitempty"`
+	// TopK holds the bounded-query evaluator's pruning and intra-query
+	// parallelism counters for the installed generation (reset on every
+	// SetReady* swap); absent when the searcher does not expose them.
+	TopK *index.TopKStats `json:"topk,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -788,6 +800,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sm, ok := b.searcher.(interface{ Metrics() *shard.Metrics }); ok {
 		snap := sm.Metrics().Snapshot()
 		resp.Sharding = &snap
+	}
+	if ts, ok := b.searcher.(interface{ TopKStats() index.TopKStats }); ok {
+		st := ts.TopKStats()
+		resp.TopK = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ctxsearch/internal/index"
+)
+
+// TestStatsTopKPerGeneration: /stats carries the bounded-query evaluator's
+// counters, and they read per installed generation — traffic accumulates
+// them, a SetReady* swap zeroes them — rather than per process lifetime.
+func TestStatsTopKPerGeneration(t *testing.T) {
+	sys, cs, scores, query := testState(t)
+	srv := New(sys, cs, scores)
+
+	topk := func() index.TopKStats {
+		t.Helper()
+		rec := get(t, srv, "/stats")
+		if rec.Code != 200 {
+			t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+		}
+		var resp StatsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.TopK == nil {
+			t.Fatal("stats response has no topk section")
+		}
+		return *resp.TopK
+	}
+
+	if st := topk(); st.Visited != 0 {
+		t.Fatalf("fresh generation reports visited %d, want 0", st.Visited)
+	}
+	// Bounded queries run the top-k evaluator on the same index the
+	// installed engine wraps (the engine's own /search path scores its
+	// context restriction exhaustively and leaves these counters alone).
+	qv := sys.Analyzer().QueryVector(query)
+	if _, err := sys.Index().SearchVectorContext(context.Background(), qv, index.Options{Limit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if st := topk(); st.Visited == 0 {
+		t.Fatal("bounded query did not move the generation's visited counter")
+	}
+	// Installing a generation resets the counters: /stats must not leak
+	// the previous generation's traffic.
+	srv.SetReady(sys, cs, scores)
+	if st := topk(); st.Visited != 0 {
+		t.Fatalf("post-swap generation reports visited %d, want 0", st.Visited)
+	}
+}

@@ -53,6 +53,9 @@ type Options struct {
 	// FanOut caps how many shards are queried concurrently per search
 	// (0 = all shards at once).
 	FanOut int
+	// TopKWorkers is each shard index's default intra-query parallelism
+	// for bounded top-k queries (see index.Options.TopKWorkers; 0 = serial).
+	TopKWorkers int
 }
 
 // NewGroup partitions the corpus into n contiguous paper-ID ranges and
@@ -77,6 +80,7 @@ func NewGroup(a *corpus.Analyzer, cs *contextset.ContextSet, m *prestige.Matrix,
 		go func(i int, r par.Shard) {
 			defer wg.Done()
 			ix := index.BuildRangeWorkers(a, r.Lo, r.Hi, opts.BuildWorkers)
+			ix.SetDefaultTopKWorkers(opts.TopKWorkers)
 			g.engines[i] = search.NewEngineFrozen(ix, cs, m.Slice(r.Lo, r.Hi), w)
 		}(i, r)
 	}
@@ -109,6 +113,7 @@ func NewGroupParts(a *corpus.Analyzer, parts *index.Parts, cs *contextset.Contex
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
 			}
+			ix.SetDefaultTopKWorkers(opts.TopKWorkers)
 			g.engines[i] = search.NewEngineFrozen(ix, cs, m.Slice(r.Lo, r.Hi), w)
 		}(i, r)
 	}
@@ -166,6 +171,28 @@ func (g *Group) Engine(i int) *search.Engine { return g.engines[i] }
 
 // Metrics returns the group's coordinator counters.
 func (g *Group) Metrics() *Metrics { return g.metrics }
+
+// TopKStats sums the top-k evaluator counters over every shard engine —
+// the group-wide view the server reports under /stats.
+func (g *Group) TopKStats() index.TopKStats {
+	var sum index.TopKStats
+	for _, e := range g.engines {
+		st := e.TopKStats()
+		sum.Visited += st.Visited
+		sum.Skipped += st.Skipped
+		sum.Parallel += st.Parallel
+		sum.ParallelWorkers += st.ParallelWorkers
+		sum.SerialFallback += st.SerialFallback
+	}
+	return sum
+}
+
+// ResetTopKStats zeroes every shard engine's evaluator counters.
+func (g *Group) ResetTopKStats() {
+	for _, e := range g.engines {
+		e.ResetTopKStats()
+	}
+}
 
 // SelectContextsContext reports which contexts a query selects. Selection
 // metadata is identical on every shard (see NewGroup), so shard 0 answers
